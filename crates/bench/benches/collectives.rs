@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the real in-process collectives: ring vs
+//! recursive-doubling vs tree vs the hierarchical hybrid (§V-A3), across
+//! buffer sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exaclim_comm::{CommWorld, Communicator};
+use std::time::Duration;
+
+type Collective = fn(&mut Communicator, &mut Vec<f32>);
+
+fn run_collective(ranks: usize, elems: usize, f: Collective) {
+    let comms = CommWorld::new(ranks);
+    let handles: Vec<_> = comms
+        .into_iter()
+        .enumerate()
+        .map(|(rank, mut comm)| {
+            std::thread::spawn(move || {
+                let mut buf = vec![rank as f32; elems];
+                f(&mut comm, &mut buf);
+                buf[0]
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join().expect("rank");
+    }
+}
+
+fn allreduce_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_4ranks");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let algos: [(&str, Collective); 4] = [
+        ("ring", |c, b| c.allreduce_ring(b)),
+        ("recursive_doubling", |c, b| c.allreduce_rhd(b)),
+        ("tree", |c, b| c.allreduce_tree(b)),
+        ("hierarchical_2x2", |c, b| c.hierarchical_allreduce(b, 2, 1)),
+    ];
+    for &elems in &[1024usize, 65536] {
+        for (name, f) in algos {
+            group.bench_with_input(
+                BenchmarkId::new(name, elems),
+                &elems,
+                |bch, &elems| {
+                    bch.iter(|| run_collective(4, elems, f));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn hybrid_shard_leaders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_leaders_8ranks");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &leaders in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(leaders), &leaders, |bch, &leaders| {
+            bch.iter(|| {
+                let comms = CommWorld::new(8);
+                let handles: Vec<_> = comms
+                    .into_iter()
+                    .map(|mut comm| {
+                        std::thread::spawn(move || {
+                            let mut buf = vec![1.0f32; 16384];
+                            comm.hierarchical_allreduce(&mut buf, 4, leaders);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let _ = h.join();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, allreduce_algorithms, hybrid_shard_leaders);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Criterion microbenchmarks for the tensor kernels: the convolution
+//! lowering strategies (direct vs im2col-GEMM — cuDNN's "direct vs
+//! implicit GEMM" choice, §VI), GEMM, batch norm, and FP16 quantization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exaclim_tensor::half::quantize_f16_slice;
+use exaclim_tensor::init::{randn, seeded_rng};
+use exaclim_tensor::ops::{self, Conv2dParams, ConvAlgo};
+use exaclim_tensor::DType;
+use std::time::Duration;
+
+fn conv_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d_fwd");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(1);
+    for &(ch, hw) in &[(16usize, 32usize), (32, 16)] {
+        let x = randn([1, ch, hw, hw], DType::F32, 1.0, &mut rng);
+        let w = randn([ch, ch, 3, 3], DType::F32, 0.2, &mut rng);
+        for (algo, name) in [(ConvAlgo::Direct, "direct"), (ConvAlgo::Im2colGemm, "im2col")] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{ch}ch_{hw}px")),
+                &(&x, &w),
+                |b, (x, w)| {
+                    b.iter(|| ops::conv2d_forward(x, w, Conv2dParams::padded(1), algo));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn atrous_dilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atrous_conv");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(2);
+    let x = randn([1, 16, 24, 24], DType::F32, 1.0, &mut rng);
+    let w = randn([16, 16, 3, 3], DType::F32, 0.2, &mut rng);
+    for d in [1usize, 2, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| ops::conv2d_forward(&x, &w, Conv2dParams::atrous(d), ConvAlgo::Direct));
+        });
+    }
+    group.finish();
+}
+
+fn gemm_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[32usize, 64, 128] {
+        let a = vec![1.0f32; n * n];
+        let bmat = vec![0.5f32; n * n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut cmat = vec![0.0f32; n * n];
+                ops::gemm(n, n, n, &a, &bmat, &mut cmat);
+                cmat
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fp16_quantization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fp16");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    let mut rng = seeded_rng(3);
+    let base = randn([65536], DType::F32, 10.0, &mut rng);
+    group.bench_function("quantize_64k", |b| {
+        b.iter(|| {
+            let mut v = base.as_slice().to_vec();
+            quantize_f16_slice(&mut v);
+            v
+        });
+    });
+    group.finish();
+}
+
+fn batchnorm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batchnorm_fwd");
+    group.sample_size(10).measurement_time(Duration::from_secs(1));
+    let mut rng = seeded_rng(4);
+    let x = randn([2, 32, 24, 24], DType::F32, 1.0, &mut rng);
+    let gamma = exaclim_tensor::Tensor::full([32], DType::F32, 1.0);
+    let beta = exaclim_tensor::Tensor::zeros([32], DType::F32);
+    group.bench_function("2x32x24x24", |b| {
+        b.iter(|| ops::batchnorm_forward(&x, &gamma, &beta, 1e-5, None));
+    });
+    group.finish();
+}
+
+fn fused_epilogue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_epilogue");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(5);
+    let x = randn([1, 16, 24, 24], DType::F32, 1.0, &mut rng);
+    let w = randn([16, 16, 3, 3], DType::F32, 0.3, &mut rng);
+    let b = randn([16], DType::F32, 0.1, &mut rng);
+    group.bench_function("separate_conv_bias_relu", |bench| {
+        bench.iter(|| {
+            let mut y = ops::conv2d_forward(&x, &w, Conv2dParams::padded(1), ConvAlgo::Direct);
+            ops::add_bias_nchw(&mut y, &b);
+            ops::relu_forward(&y)
+        });
+    });
+    group.bench_function("fused_conv_bias_relu", |bench| {
+        bench.iter(|| {
+            ops::conv2d_forward_fused(
+                &x,
+                &w,
+                Some(&b),
+                ops::Epilogue::BiasRelu,
+                Conv2dParams::padded(1),
+                ConvAlgo::Direct,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, conv_algorithms, atrous_dilation, gemm_sizes, fp16_quantization, batchnorm, fused_epilogue);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Figure 2: single-GPU performance of both networks.
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin fig2_single_gpu
+//! ```
+
+use exaclim_hpcsim::gpu::{GpuModel, Precision};
+use exaclim_models::{DeepLabConfig, TiramisuConfig};
+use exaclim_perfmodel::{fig2_row, fig2_table};
+
+fn main() {
+    let deeplab = DeepLabConfig::paper().spec(768, 1152);
+    let tiramisu = TiramisuConfig::paper_modified(16).spec(768, 1152);
+    let tiramisu_daint = TiramisuConfig::paper_modified(4).spec(768, 1152);
+    let v100 = GpuModel::v100();
+    let p100 = GpuModel::p100();
+
+    let rows = vec![
+        fig2_row("DeepLabv3+", &deeplab, &v100, Precision::FP16),
+        fig2_row("DeepLabv3+", &deeplab, &v100, Precision::FP32),
+        fig2_row("Tiramisu", &tiramisu, &v100, Precision::FP16),
+        fig2_row("Tiramisu", &tiramisu, &v100, Precision::FP32),
+        fig2_row("Tiramisu*", &tiramisu_daint, &p100, Precision::FP32),
+    ];
+    println!("Figure 2 — single-GPU training performance (modeled)");
+    println!("(*) 4-of-16 input channels, the Piz Daint configuration\n");
+    println!("{}", fig2_table(&rows));
+
+    println!("paper reference:");
+    println!("  DeepLabv3+  14.41 TF/sample   V100 FP16 2.67 samples/s 38.45 TF/s 31%");
+    println!("                                V100 FP32 0.87 samples/s 12.53 TF/s 80%");
+    println!("  Tiramisu     4.188 TF/sample  V100 FP16 5.00 samples/s 20.93 TF/s 17%");
+    println!("                                V100 FP32 1.91 samples/s  8.00 TF/s 51%");
+    println!("  Tiramisu*    3.703 TF/sample  P100 FP32 1.20 samples/s  4.44 TF/s 48%");
+}

@@ -1,0 +1,48 @@
+//! Regenerates Figure 4: weak-scaling of both networks to full Piz Daint
+//! and Summit, FP32/FP16, lag 0/lag 1.
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin fig4_weak_scaling
+//! ```
+
+use exaclim_hpcsim::gpu::Precision;
+use exaclim_hpcsim::MachineSpec;
+use exaclim_models::{DeepLabConfig, TiramisuConfig};
+use exaclim_perfmodel::fig4_series;
+
+fn main() {
+    let steps = 16;
+    let tiramisu = TiramisuConfig::paper_modified(16).spec(768, 1152);
+    let deeplab = DeepLabConfig::paper().spec(768, 1152);
+
+    println!("=== Figure 4a: Tiramisu ===\n");
+    let series_a = [
+        fig4_series("Tiramisu", &tiramisu, MachineSpec::piz_daint(), Precision::FP32, true, 5300, steps, 21),
+        fig4_series("Tiramisu", &tiramisu, MachineSpec::summit(), Precision::FP32, true, 4096, steps, 22),
+        fig4_series("Tiramisu", &tiramisu, MachineSpec::summit(), Precision::FP16, true, 4096, steps, 23),
+    ];
+    for s in &series_a {
+        println!("{}", s.render());
+    }
+
+    println!("=== Figure 4b: DeepLabv3+ ===\n");
+    let series_b = [
+        fig4_series("DeepLabv3+", &deeplab, MachineSpec::summit(), Precision::FP32, true, 4560, steps, 24),
+        fig4_series("DeepLabv3+", &deeplab, MachineSpec::summit(), Precision::FP16, false, 4560, steps, 25),
+        fig4_series("DeepLabv3+", &deeplab, MachineSpec::summit(), Precision::FP16, true, 4560, steps, 26),
+    ];
+    for s in &series_b {
+        println!("{}", s.render());
+    }
+
+    println!("=== headline comparison ===");
+    let rows = [
+        ("Tiramisu FP32 full Piz Daint", series_a[0].last().sustained_flops / 1e15, 21.0, series_a[0].last().parallel_efficiency, 0.79),
+        ("DeepLabv3+ FP32 full Summit", series_b[0].last().sustained_flops / 1e15, 325.8, series_b[0].last().parallel_efficiency, 0.907),
+        ("DeepLabv3+ FP16 lag1 full Summit", series_b[2].last().sustained_flops / 1e15, 999.0, series_b[2].last().parallel_efficiency, 0.907),
+    ];
+    println!("{:<36} {:>12} {:>12} {:>8} {:>8}", "configuration", "ours PF/s", "paper PF/s", "ours eff", "paper");
+    for (name, ours, paper, eff, peff) in rows {
+        println!("{name:<36} {ours:>12.1} {paper:>12.1} {:>7.1}% {:>7.1}%", eff * 100.0, peff * 100.0);
+    }
+}

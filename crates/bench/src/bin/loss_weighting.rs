@@ -1,0 +1,74 @@
+//! Regenerates the §V-B1 weighted-loss study:
+//!
+//! 1. **unweighted** loss collapses to the all-background predictor
+//!    (98 %+ accuracy, zero minority IoU),
+//! 2. **inverse-frequency** weights overflow FP16,
+//! 3. **inverse-sqrt** weights stay stable and learn minority classes.
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin loss_weighting [-- steps]
+//! ```
+
+use exaclim_core::experiment::{run_experiment, ExperimentConfig, ModelKind};
+use exaclim_nn::loss::{class_weights, pixel_weight_map, ClassWeighting, Labels, WeightedCrossEntropy};
+use exaclim_tensor::{DType, Tensor};
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+
+    // --- the paper's class mix and weight magnitudes ---------------------
+    let freqs = [0.982f32, 0.001, 0.017]; // BG, TC, AR (§V-B1)
+    println!("=== class weights for the paper's 98.2/0.1/1.7 % mix ===");
+    for (scheme, name) in [
+        (ClassWeighting::Uniform, "uniform"),
+        (ClassWeighting::InverseFrequency, "1/freq"),
+        (ClassWeighting::InverseSqrtFrequency, "1/sqrt(freq)"),
+    ] {
+        let w = class_weights(&freqs, scheme);
+        println!("  {name:<14} BG {:>8.2}  TC {:>8.2}  AR {:>8.2}", w[0], w[1], w[2]);
+    }
+
+    // --- FP16 stability of the loss/gradient path ------------------------
+    println!("\n=== FP16 numerics (64 TC pixels, loss scale 8192) ===");
+    let labels = Labels::new(1, 8, 8, vec![1; 64]);
+    let logits = Tensor::zeros([1, 3, 8, 8], DType::F16);
+    let ce = WeightedCrossEntropy::with_scale(8192.0);
+    for (scheme, name) in [
+        (ClassWeighting::InverseFrequency, "1/freq"),
+        (ClassWeighting::InverseSqrtFrequency, "1/sqrt(freq)"),
+    ] {
+        let wmap = pixel_weight_map(&labels, &class_weights(&freqs, scheme));
+        let out = ce.forward(&logits, &labels, &wmap);
+        println!(
+            "  {name:<14} loss = {:<12} gradient finite = {}",
+            format!("{:.1}", out.loss),
+            !out.grad_logits.has_non_finite()
+        );
+    }
+
+    // --- end-to-end: uniform weighting collapses -------------------------
+    println!("\n=== training DeepLab tiny for {steps} steps under each scheme ===");
+    for (scheme, name) in [
+        (ClassWeighting::Uniform, "uniform"),
+        (ClassWeighting::InverseSqrtFrequency, "1/sqrt(freq)"),
+    ] {
+        let mut cfg = ExperimentConfig::study(ModelKind::DeepLab, 2, steps);
+        cfg.weighting = scheme;
+        let result = run_experiment(&cfg).expect("run");
+        let v = &result.validation;
+        let minority_iou = [1usize, 2]
+            .iter()
+            .filter_map(|&c| v.class_iou[c])
+            .fold(0.0f64, f64::max);
+        println!(
+            "  {name:<14} accuracy {:>5.1}%  best minority-class IoU {:>5.1}%",
+            100.0 * v.accuracy,
+            100.0 * minority_iou
+        );
+    }
+    println!("\npaper: the unweighted network \"did, in practice\" predict background");
+    println!("everywhere at 98.2 % accuracy; inverse-sqrt fixed stability and recall.");
+}

@@ -1,0 +1,233 @@
+//! Temporal sequences: storms that move between 3-hourly frames.
+//!
+//! §VIII-A closes with "we will explore advanced architectures that can
+//! consider temporal evolution of storms", and the motivating questions of
+//! §III-A are explicitly about *tracks* ("if AR tracks will shift in the
+//! future", TCs "making landfall more often"). This module generates
+//! multi-frame sequences with physically-plausible event motion:
+//!
+//! * TCs drift westward and poleward with the trade winds, intensify, peak
+//!   and decay over their lifetime;
+//! * AR filaments translate eastward with the mid-latitude flow.
+//!
+//! Masks stay consistent per frame, so the sequences can train temporal
+//! models — and [`crate::storms::track_storms`] can recover tracks.
+
+use crate::fields::{ArParams, ClimateSample, FieldGenerator, GeneratorConfig, TcParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Motion model for the events of one sequence.
+#[derive(Debug, Clone)]
+struct MovingTc {
+    params: TcParams,
+    /// Frame-to-frame drift in (rows, cols): westward (−x) and poleward.
+    drift: (f32, f32),
+    /// Frame index of peak intensity.
+    peak_frame: f32,
+    /// Intensity e-folding width in frames.
+    life: f32,
+}
+
+/// One moving AR: the whole Bézier translates eastward.
+#[derive(Debug, Clone)]
+struct MovingAr {
+    params: ArParams,
+    /// Frame-to-frame eastward drift, columns.
+    drift_x: f32,
+}
+
+/// Generates coherent multi-frame sequences.
+pub struct SequenceGenerator {
+    generator: FieldGenerator,
+    seed: u64,
+}
+
+impl SequenceGenerator {
+    /// Sequence generator over the same grid/statistics as the snapshot
+    /// generator.
+    pub fn new(config: GeneratorConfig) -> SequenceGenerator {
+        let seed = config.seed;
+        SequenceGenerator {
+            generator: FieldGenerator::new(config),
+            seed,
+        }
+    }
+
+    /// The underlying snapshot generator.
+    pub fn generator(&self) -> &FieldGenerator {
+        &self.generator
+    }
+
+    /// Generates sequence `index` with `frames` 3-hourly snapshots.
+    ///
+    /// Event identities persist across frames: the same storm appears at
+    /// advected positions with evolving intensity, so frame-to-frame masks
+    /// are temporally coherent.
+    pub fn generate(&self, index: u64, frames: usize) -> Vec<ClimateSample> {
+        let cfg = self.generator.config();
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ 0x5EC5 ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        let (h, w) = (cfg.h, cfg.w);
+
+        // Sample persistent events.
+        let n_tc = rng.gen_range(cfg.tc_range.0..=cfg.tc_range.1);
+        let tcs: Vec<MovingTc> = (0..n_tc)
+            .map(|_| {
+                let params = self.generator.sample_tc(&mut rng);
+                let southern = params.cy < h as f32 / 2.0;
+                // Westward drift; poleward = away from the equator.
+                let dy = if southern { -1.0 } else { 1.0 } * rng.gen_range(0.1..0.5) * h as f32 / 96.0;
+                let dx = -rng.gen_range(0.5..1.5) * w as f32 / 144.0;
+                MovingTc {
+                    params,
+                    drift: (dy, dx),
+                    peak_frame: rng.gen_range(0.3..0.7) * frames as f32,
+                    life: rng.gen_range(0.5..1.0) * frames as f32,
+                }
+            })
+            .collect();
+        let n_ar = rng.gen_range(cfg.ar_range.0..=cfg.ar_range.1);
+        let ars: Vec<MovingAr> = (0..n_ar)
+            .map(|_| MovingAr {
+                params: self.generator.sample_ar(&mut rng),
+                drift_x: rng.gen_range(0.8..2.0) * w as f32 / 144.0,
+            })
+            .collect();
+
+        (0..frames)
+            .map(|t| {
+                let mut frame = self
+                    .generator
+                    .generate_background(index.wrapping_mul(10_007) + t as u64);
+                for tc in &tcs {
+                    let f = t as f32;
+                    // Gaussian intensity envelope over the lifetime.
+                    let envelope = (-(f - tc.peak_frame).powi(2) / (2.0 * tc.life * tc.life)).exp();
+                    let mut p = tc.params;
+                    p.cy = (tc.params.cy + tc.drift.0 * f).clamp(0.0, h as f32 - 1.0);
+                    p.cx = (tc.params.cx + tc.drift.1 * f).rem_euclid(w as f32);
+                    p.depth *= envelope;
+                    p.vmax *= envelope;
+                    // Below ~12 m/s the heuristics would not call it a TC;
+                    // skip painting dissipated storms entirely.
+                    if p.vmax >= 12.0 {
+                        self.generator.paint_tc_at(&mut frame, &p);
+                    }
+                }
+                for ar in &ars {
+                    let mut p = ar.params;
+                    let shift = ar.drift_x * t as f32;
+                    p.p0.1 += shift;
+                    p.p1.1 += shift;
+                    p.p2.1 += shift;
+                    self.generator.paint_ar_at(&mut frame, &p);
+                }
+                frame
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes;
+
+    fn small_sequence(frames: usize) -> Vec<ClimateSample> {
+        let gen = SequenceGenerator::new(GeneratorConfig::small(314));
+        gen.generate(0, frames)
+    }
+
+    fn tc_centroid(s: &ClimateSample) -> Option<(f64, f64)> {
+        let (mut cy, mut cx, mut n) = (0.0f64, 0.0f64, 0usize);
+        for (i, &m) in s.true_mask.iter().enumerate() {
+            if m == classes::TC {
+                cy += (i / s.w) as f64;
+                cx += (i % s.w) as f64;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| (cy / n as f64, cx / n as f64))
+    }
+
+    #[test]
+    fn sequences_are_deterministic_and_coherent() {
+        let a = small_sequence(4);
+        let b = small_sequence(4);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.data, y.data);
+        }
+        // Consecutive frames differ (events moved, background evolved).
+        assert_ne!(a[0].data, a[1].data);
+    }
+
+    #[test]
+    fn tc_centroids_drift_westward() {
+        // Track the mask centroid over frames: mean longitudinal motion
+        // must be westward (negative x) for the trade-wind drift. One TC
+        // only, so the aggregate centroid is a single track.
+        let gen = SequenceGenerator::new(GeneratorConfig {
+            tc_range: (1, 1),
+            ar_range: (0, 0),
+            ..GeneratorConfig::small(314)
+        });
+        let frames = gen.generate(0, 5);
+        let centroids: Vec<(f64, f64)> = frames.iter().filter_map(tc_centroid).collect();
+        if centroids.len() >= 3 {
+            let w = frames[0].w as f64;
+            let mut dx_total = 0.0;
+            for pair in centroids.windows(2) {
+                let mut dx = pair[1].1 - pair[0].1;
+                // Unwrap longitude periodicity.
+                if dx > w / 2.0 {
+                    dx -= w;
+                }
+                if dx < -w / 2.0 {
+                    dx += w;
+                }
+                dx_total += dx;
+            }
+            assert!(dx_total < 1.0, "net TC drift should be westward-ish: {dx_total}");
+        }
+    }
+
+    #[test]
+    fn storms_persist_across_frames() {
+        let frames = small_sequence(4);
+        let tc_pixels: Vec<usize> = frames
+            .iter()
+            .map(|f| f.true_mask.iter().filter(|&&m| m == classes::TC).count())
+            .collect();
+        // A storm present at t=0 should still exist in at least half the
+        // frames (lifetimes are ≥ half the sequence).
+        let present = tc_pixels.iter().filter(|&&n| n > 0).count();
+        if tc_pixels[0] > 0 {
+            assert!(present >= 2, "TC presence per frame: {tc_pixels:?}");
+        }
+    }
+
+    #[test]
+    fn intensity_envelope_rises_and_falls() {
+        // Over a long sequence the per-frame TC pixel count (∝ area above
+        // the mask threshold) must not be monotone — it peaks mid-life.
+        let gen = SequenceGenerator::new(GeneratorConfig {
+            tc_range: (1, 1),
+            ar_range: (0, 0),
+            ..GeneratorConfig::small(99)
+        });
+        let frames = gen.generate(3, 8);
+        let counts: Vec<usize> = frames
+            .iter()
+            .map(|f| f.true_mask.iter().filter(|&&m| m == classes::TC).count())
+            .collect();
+        let monotone_up = counts.windows(2).all(|p| p[1] >= p[0]);
+        let monotone_down = counts.windows(2).all(|p| p[1] <= p[0]);
+        assert!(
+            !(monotone_up && monotone_down),
+            "intensity should vary over the lifetime: {counts:?}"
+        );
+    }
+}

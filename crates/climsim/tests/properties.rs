@@ -1,0 +1,86 @@
+//! Property-based tests for the data substrate: the CDF5 container must
+//! round-trip arbitrary payloads, and generation must be deterministic
+//! and physically sane across the seed space.
+
+use exaclim_climsim::cdf5::{Cdf5Reader, Cdf5Writer};
+use exaclim_climsim::fields::{FieldGenerator, GeneratorConfig};
+use exaclim_climsim::label::{heuristic_labels, LabelerConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cdf5_roundtrips_arbitrary_samples(
+        c in 1usize..5,
+        h in 1usize..8,
+        w in 1usize..8,
+        n in 1usize..4,
+        seed in 0u64..10_000,
+    ) {
+        let dir = std::env::temp_dir().join(format!("cdf5_prop_{}_{seed}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!("t_{c}_{h}_{w}_{n}.cdf5"));
+
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            f32::from_bits(0x3f80_0000 | ((state as u32) & 0x007f_ffff)) - 1.5
+        };
+        let samples: Vec<(Vec<f32>, Vec<u8>)> = (0..n)
+            .map(|_| {
+                (
+                    (0..c * h * w).map(|_| next()).collect(),
+                    (0..h * w).map(|i| (i % 3) as u8).collect(),
+                )
+            })
+            .collect();
+
+        let mut writer = Cdf5Writer::create(&path, c, h, w).expect("create");
+        for (f, l) in &samples {
+            writer.append(f, l).expect("append");
+        }
+        writer.finish().expect("finish");
+
+        let mut reader = Cdf5Reader::open(&path).expect("open");
+        prop_assert_eq!(reader.n_samples, n);
+        // Read back in reverse order to exercise seeking.
+        for i in (0..n).rev() {
+            let s = reader.read_sample(i).expect("read");
+            prop_assert_eq!(&s.fields, &samples[i].0);
+            prop_assert_eq!(&s.labels, &samples[i].1);
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_finite(seed in 0u64..500, index in 0u64..50) {
+        let mut cfg = GeneratorConfig::small(seed);
+        cfg.h = 32;
+        cfg.w = 48;
+        let g = FieldGenerator::new(cfg);
+        let a = g.generate(index);
+        let b = g.generate(index);
+        prop_assert_eq!(&a.data, &b.data);
+        prop_assert!(a.data.iter().all(|v| v.is_finite()), "fields must be finite");
+        prop_assert!(a.true_mask.iter().all(|&m| m <= 2), "mask classes in range");
+    }
+
+    #[test]
+    fn labeler_never_panics_and_stays_in_range(seed in 0u64..200) {
+        let mut cfg = GeneratorConfig::small(seed);
+        cfg.h = 24;
+        cfg.w = 36;
+        let g = FieldGenerator::new(cfg);
+        let s = g.generate(seed % 7);
+        let mask = heuristic_labels(&s, &LabelerConfig::default());
+        prop_assert_eq!(mask.len(), 24 * 36);
+        prop_assert!(mask.iter().all(|&m| m <= 2));
+        // Background always dominates on these small grids.
+        let bg = mask.iter().filter(|&&m| m == 0).count();
+        prop_assert!(bg * 2 > mask.len(), "BG must be the majority class");
+    }
+}

@@ -1,0 +1,235 @@
+//! # exaclim-comm
+//!
+//! In-process collective communication: the MPI + NCCL substrate of the
+//! paper's distributed training, with OS threads standing in for MPI ranks.
+//!
+//! * [`CommWorld::new`] builds `n` connected [`Communicator`]s (one per
+//!   rank thread) with FIFO point-to-point channels.
+//! * Collectives: [`Communicator::allreduce_ring`] (NCCL's systolic ring),
+//!   [`Communicator::allreduce_rhd`] (recursive halving/doubling, the
+//!   classic MPI tree-style algorithm), [`Communicator::allreduce_tree`]
+//!   (binomial reduce + broadcast), and
+//!   [`Communicator::hierarchical_allreduce`] — the paper's hybrid (§V-A3):
+//!   NCCL-style ring *within* a node, then a subset of local ranks (4 on
+//!   Summit, matching its 4 virtual IB devices) each all-reducing a shard
+//!   of the buffer *across* nodes, then an intra-node broadcast of shards.
+//!
+//! Every collective is **deterministic and replica-consistent**: all ranks
+//! finish with bitwise-identical buffers, the property that keeps
+//! synchronous data-parallel replicas identical (§V-A3 "identical
+//! updates"). Message and byte counters per rank feed the control-plane
+//! analysis.
+
+pub mod world;
+
+pub use world::{CommStats, CommWorld, Communicator};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn run_world<F>(n: usize, f: F) -> Vec<Vec<f32>>
+    where
+        F: Fn(&mut Communicator, Vec<f32>) -> Vec<f32> + Send + Sync + Clone + 'static,
+    {
+        let comms = CommWorld::new(n);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut comm)| {
+                let f = f.clone();
+                thread::spawn(move || {
+                    let input: Vec<f32> = (0..8).map(|i| (rank * 8 + i) as f32).collect();
+                    f(&mut comm, input)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread")).collect()
+    }
+
+    fn expected_sum(n: usize) -> Vec<f32> {
+        (0..8)
+            .map(|i| (0..n).map(|r| (r * 8 + i) as f32).sum())
+            .collect()
+    }
+
+    #[test]
+    fn ring_allreduce_sums_everywhere() {
+        for n in [1, 2, 3, 4, 7] {
+            let results = run_world(n, |c, mut buf| {
+                c.allreduce_ring(&mut buf);
+                buf
+            });
+            let want = expected_sum(n);
+            for (rank, r) in results.iter().enumerate() {
+                assert_eq!(r, &want, "rank {rank} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rhd_allreduce_sums_everywhere() {
+        for n in [1, 2, 4, 8, 6, 5] {
+            let results = run_world(n, |c, mut buf| {
+                c.allreduce_rhd(&mut buf);
+                buf
+            });
+            let want = expected_sum(n);
+            for r in &results {
+                assert_eq!(r, &want, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_allreduce_sums_everywhere() {
+        for n in [1, 2, 3, 5, 8] {
+            let results = run_world(n, |c, mut buf| {
+                c.allreduce_tree(&mut buf);
+                buf
+            });
+            let want = expected_sum(n);
+            for r in &results {
+                assert_eq!(r, &want, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_allreduce_matches_flat() {
+        // 2 "nodes" × 3 "GPUs", 2 shard leaders per node (Summit: 4).
+        for (n, node, leaders) in [(6, 3, 2), (8, 4, 4), (4, 2, 1), (6, 2, 2)] {
+            let results = run_world(n, move |c, mut buf| {
+                c.hierarchical_allreduce(&mut buf, node, leaders);
+                buf
+            });
+            let want = expected_sum(n);
+            for (rank, r) in results.iter().enumerate() {
+                assert_eq!(r, &want, "rank {rank}, n={n}, node={node}, s={leaders}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_each_root() {
+        for root in 0..4 {
+            let results = run_world(4, move |c, mut buf| {
+                if c.rank() != root {
+                    buf = vec![0.0; 8];
+                }
+                c.broadcast(root, &mut buf);
+                buf
+            });
+            let want: Vec<f32> = (0..8).map(|i| (root * 8 + i) as f32).collect();
+            for r in &results {
+                assert_eq!(r, &want, "root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_are_bitwise_replica_consistent() {
+        // Non-associative floating-point inputs: all ranks must still end
+        // with *identical* bits (the property that keeps replicas in sync).
+        let results = run_world(5, |c, _| {
+            let mut buf: Vec<f32> = (0..16)
+                .map(|i| ((c.rank() + 1) as f32 * 0.1 + i as f32 * 1e-7).powi(3))
+                .collect();
+            c.allreduce_ring(&mut buf);
+            buf
+        });
+        for r in &results[1..] {
+            assert_eq!(
+                r.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                results[0].iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_collectives_do_not_cross_talk() {
+        let results = run_world(3, |c, mut buf| {
+            c.allreduce_ring(&mut buf);
+            let mut second = vec![c.rank() as f32; 4];
+            c.allreduce_tree(&mut second);
+            c.barrier();
+            let mut third = vec![1.0f32; 2];
+            c.allreduce_rhd(&mut third);
+            buf.extend(second);
+            buf.extend(third);
+            buf
+        });
+        let mut want = expected_sum(3);
+        want.extend(vec![3.0f32; 4]); // 0+1+2
+        want.extend(vec![3.0f32; 2]);
+        for r in &results {
+            assert_eq!(r, &want);
+        }
+    }
+
+    #[test]
+    fn message_stats_are_counted() {
+        let comms = CommWorld::new(2);
+        let stats = comms[0].stats();
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut c| {
+                thread::spawn(move || {
+                    let mut buf = vec![1.0f32; 4];
+                    c.allreduce_ring(&mut buf);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert!(stats.messages_sent(0) > 0);
+        assert!(stats.bytes_sent(0) > 0);
+        assert_eq!(stats.messages_sent(0), stats.messages_received(1));
+    }
+
+    #[test]
+    fn reduce_scatter_then_allgather_equals_allreduce() {
+        // The ZeRO-style decomposition: reduce-scatter + all-gather must
+        // equal the plain all-reduce, bitwise.
+        for n in [1, 2, 3, 5] {
+            let results = run_world(n, |c, buf| {
+                let mut a = buf.clone();
+                c.allreduce_ring(&mut a);
+                let mut b = buf.clone();
+                let (idx, chunk) = c.reduce_scatter_ring(&mut b);
+                let gathered = c.allgather_ring(idx, &chunk, b.len());
+                assert_eq!(
+                    gathered.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "decomposed == fused all-reduce"
+                );
+                a
+            });
+            let want = expected_sum(n);
+            for r in &results {
+                assert_eq!(r, &want, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let comms = CommWorld::new(2);
+        let mut it = comms.into_iter();
+        let mut c0 = it.next().expect("rank 0");
+        let mut c1 = it.next().expect("rank 1");
+        let t0 = thread::spawn(move || {
+            c0.send_f32(1, 7, vec![1.0, 2.0]);
+            c0.recv_f32(1, 8)
+        });
+        let t1 = thread::spawn(move || {
+            let got = c1.recv_f32(0, 7);
+            c1.send_f32(0, 8, vec![got[0] * 10.0, got[1] * 10.0]);
+            got
+        });
+        assert_eq!(t0.join().expect("t0"), vec![10.0, 20.0]);
+        assert_eq!(t1.join().expect("t1"), vec![1.0, 2.0]);
+    }
+}

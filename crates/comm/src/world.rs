@@ -1,0 +1,514 @@
+//! Communicator implementation: FIFO point-to-point channels plus
+//! deterministic collectives.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// One point-to-point message.
+struct Message {
+    tag: u64,
+    payload: Payload,
+}
+
+/// Message payload.
+enum Payload {
+    /// Gradient/tensor data.
+    F32(Vec<f32>),
+    /// Control-plane bytes.
+    Bytes(Vec<u8>),
+}
+
+/// Shared per-world counters, indexable by rank.
+pub struct CommStats {
+    sent: Vec<AtomicU64>,
+    received: Vec<AtomicU64>,
+    bytes_sent: Vec<AtomicU64>,
+}
+
+impl CommStats {
+    /// Messages sent by `rank`.
+    pub fn messages_sent(&self, rank: usize) -> u64 {
+        self.sent[rank].load(Ordering::Relaxed)
+    }
+
+    /// Messages received by `rank`.
+    pub fn messages_received(&self, rank: usize) -> u64 {
+        self.received[rank].load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes sent by `rank`.
+    pub fn bytes_sent(&self, rank: usize) -> u64 {
+        self.bytes_sent[rank].load(Ordering::Relaxed)
+    }
+
+    /// Largest per-rank sent-message count — the hot-spot metric of the
+    /// control-plane analysis (rank 0 under the centralized scheduler).
+    pub fn max_messages_sent(&self) -> u64 {
+        self.sent.iter().map(|a| a.load(Ordering::Relaxed)).max().unwrap_or(0)
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        for a in self.sent.iter().chain(&self.received).chain(&self.bytes_sent) {
+            a.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Factory for connected communicators.
+pub struct CommWorld;
+
+impl CommWorld {
+    /// Builds `n` communicators wired all-to-all; move each into its rank's
+    /// thread. (A factory returning the endpoints, not `Self`.)
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(n: usize) -> Vec<Communicator> {
+        assert!(n > 0, "world size must be positive");
+        // channels[src][dst]
+        let mut senders: Vec<Vec<Sender<Message>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut receivers: Vec<Vec<Receiver<Message>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        // receivers[dst][src]
+        let mut recv_grid: Vec<Vec<Option<Receiver<Message>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for (src, senders_row) in senders.iter_mut().enumerate() {
+            for (dst, recv_row) in recv_grid.iter_mut().enumerate() {
+                let (tx, rx) = unbounded();
+                senders_row.push(tx);
+                recv_row[src] = Some(rx);
+                let _ = dst;
+            }
+        }
+        for (dst, row) in recv_grid.into_iter().enumerate() {
+            receivers[dst] = row.into_iter().map(|r| r.expect("wired")).collect();
+        }
+        let stats = Arc::new(CommStats {
+            sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            received: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            bytes_sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        });
+        let barrier = Arc::new(Barrier::new(n));
+        receivers
+            .into_iter()
+            .zip(senders)
+            .enumerate()
+            .map(|(rank, (rx, tx))| Communicator {
+                rank,
+                size: n,
+                senders: tx,
+                receivers: rx,
+                stashed: (0..n).map(|_| VecDeque::new()).collect(),
+                stats: stats.clone(),
+                barrier: barrier.clone(),
+                op_seq: 0,
+            })
+            .collect()
+    }
+}
+
+/// A rank's endpoint: point-to-point sends/receives and collectives.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    receivers: Vec<Receiver<Message>>,
+    /// Tensor messages pulled off a channel while polling for control
+    /// bytes; drained by `recv_msg` before touching the channel so per-peer
+    /// FIFO order of tensor messages is preserved.
+    stashed: Vec<VecDeque<Message>>,
+    stats: Arc<CommStats>,
+    barrier: Arc<Barrier>,
+    op_seq: u64,
+}
+
+impl Communicator {
+    /// This communicator's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Shared message counters.
+    pub fn stats(&self) -> Arc<CommStats> {
+        self.stats.clone()
+    }
+
+    fn send_msg(&self, dst: usize, tag: u64, payload: Payload) {
+        let bytes = match &payload {
+            Payload::F32(v) => v.len() * 4,
+            Payload::Bytes(b) => b.len(),
+        };
+        self.stats.sent[self.rank].fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_sent[self.rank].fetch_add(bytes as u64, Ordering::Relaxed);
+        self.senders[dst]
+            .send(Message { tag, payload })
+            .expect("peer communicator dropped");
+    }
+
+    fn recv_msg(&mut self, src: usize, tag: u64) -> Payload {
+        let msg = match self.stashed[src].pop_front() {
+            Some(m) => m,
+            None => self.receivers[src].recv().expect("peer communicator dropped"),
+        };
+        assert_eq!(
+            msg.tag, tag,
+            "rank {} expected tag {tag} from {src}, got {} — collective protocol mismatch",
+            self.rank, msg.tag
+        );
+        self.stats.received[self.rank].fetch_add(1, Ordering::Relaxed);
+        msg.payload
+    }
+
+    /// Sends a tensor buffer to `dst`.
+    pub fn send_f32(&mut self, dst: usize, tag: u64, data: Vec<f32>) {
+        self.send_msg(dst, tag, Payload::F32(data));
+    }
+
+    /// Receives a tensor buffer from `src` (FIFO per peer; tags are
+    /// protocol assertions).
+    pub fn recv_f32(&mut self, src: usize, tag: u64) -> Vec<f32> {
+        match self.recv_msg(src, tag) {
+            Payload::F32(v) => v,
+            Payload::Bytes(_) => panic!("expected f32 payload"),
+        }
+    }
+
+    /// Sends control bytes to `dst`.
+    pub fn send_bytes(&mut self, dst: usize, tag: u64, data: Vec<u8>) {
+        self.send_msg(dst, tag, Payload::Bytes(data));
+    }
+
+    /// Receives control bytes from `src`.
+    pub fn recv_bytes(&mut self, src: usize, tag: u64) -> Vec<u8> {
+        match self.recv_msg(src, tag) {
+            Payload::Bytes(b) => b,
+            Payload::F32(_) => panic!("expected byte payload"),
+        }
+    }
+
+    /// Non-blocking poll for a control-plane byte message from any peer.
+    ///
+    /// Returns `(src, tag, payload)` if one is waiting. A tensor (f32)
+    /// message encountered while polling — a faster peer may already have
+    /// begun the next collective — is stashed and later delivered to
+    /// `recv_f32` in original per-peer FIFO order.
+    pub fn try_recv_bytes_any(&mut self) -> Option<(usize, u64, Vec<u8>)> {
+        for src in 0..self.size {
+            while let Ok(msg) = self.receivers[src].try_recv() {
+                match msg.payload {
+                    Payload::Bytes(b) => {
+                        self.stats.received[self.rank].fetch_add(1, Ordering::Relaxed);
+                        return Some((src, msg.tag, b));
+                    }
+                    Payload::F32(_) => self.stashed[src].push_back(msg),
+                }
+            }
+        }
+        None
+    }
+
+    /// Blocks until all ranks arrive.
+    pub fn barrier(&mut self) {
+        self.barrier.wait();
+    }
+
+    fn next_tag(&mut self) -> u64 {
+        self.op_seq += 1;
+        self.op_seq << 32
+    }
+
+    /// Binomial-tree broadcast from `root` (in place).
+    pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f32>) {
+        let tag = self.next_tag();
+        let group: Vec<usize> = (0..self.size).collect();
+        self.broadcast_group(&group, root, buf, tag);
+    }
+
+    /// Ring all-reduce (sum) over all ranks — NCCL's systolic algorithm:
+    /// a reduce-scatter pass followed by an all-gather pass, 2·(n−1) steps.
+    pub fn allreduce_ring(&mut self, buf: &mut [f32]) {
+        let tag = self.next_tag();
+        let group: Vec<usize> = (0..self.size).collect();
+        self.ring_allreduce_group(&group, buf, tag);
+    }
+
+    /// Recursive-doubling all-reduce (sum) — the tree-structured exchange
+    /// pattern MPI implementations favour at scale. Non-power-of-two world
+    /// sizes fold the excess ranks into partners first.
+    pub fn allreduce_rhd(&mut self, buf: &mut [f32]) {
+        let tag = self.next_tag();
+        let group: Vec<usize> = (0..self.size).collect();
+        self.rhd_allreduce_group(&group, buf, tag);
+    }
+
+    /// Ring reduce-scatter: after the call, this rank holds the fully
+    /// reduced chunk `(rank+1) % size` of the logical buffer (the first
+    /// half of the NCCL ring all-reduce; the building block ZeRO-style
+    /// sharded optimizers use). Returns `(chunk_index, chunk)`.
+    pub fn reduce_scatter_ring(&mut self, buf: &mut [f32]) -> (usize, Vec<f32>) {
+        let tag = self.next_tag();
+        let group: Vec<usize> = (0..self.size).collect();
+        let g = group.len();
+        let me = self.rank;
+        if g == 1 {
+            return (0, buf.to_vec());
+        }
+        // Reuse the ring's reduce-scatter phase only.
+        let right = (me + 1) % g;
+        let left = (me + g - 1) % g;
+        let len = buf.len();
+        let bounds = |i: usize| (i * len / g, (i + 1) * len / g);
+        for step in 0..g - 1 {
+            let send_idx = (me + g - step) % g;
+            let recv_idx = (me + g - step - 1) % g;
+            let (slo, shi) = bounds(send_idx);
+            self.send_f32(right, tag | (step as u64) << 8, buf[slo..shi].to_vec());
+            let part = self.recv_f32(left, tag | (step as u64) << 8);
+            let (rlo, rhi) = bounds(recv_idx);
+            for (a, b) in buf[rlo..rhi].iter_mut().zip(part.iter()) {
+                *a += *b;
+            }
+        }
+        let owned = (me + 1) % g;
+        let (lo, hi) = bounds(owned);
+        (owned, buf[lo..hi].to_vec())
+    }
+
+    /// Ring all-gather of per-rank chunks produced by
+    /// [`Communicator::reduce_scatter_ring`]: every rank ends with the
+    /// concatenation of all chunks in chunk-index order.
+    pub fn allgather_ring(&mut self, chunk_index: usize, chunk: &[f32], total_len: usize) -> Vec<f32> {
+        let tag = self.next_tag();
+        let g = self.size;
+        let me = self.rank;
+        let mut out = vec![0.0f32; total_len];
+        let bounds = |i: usize| (i * total_len / g, (i + 1) * total_len / g);
+        let (lo, hi) = bounds(chunk_index);
+        out[lo..hi].copy_from_slice(chunk);
+        if g == 1 {
+            return out;
+        }
+        let right = (me + 1) % g;
+        let left = (me + g - 1) % g;
+        for step in 0..g - 1 {
+            let send_idx = (chunk_index + g - step) % g;
+            let recv_idx = (chunk_index + g - step - 1) % g;
+            let (slo, shi) = bounds(send_idx);
+            self.send_f32(right, tag | (step as u64) << 8, out[slo..shi].to_vec());
+            let part = self.recv_f32(left, tag | (step as u64) << 8);
+            let (rlo, rhi) = bounds(recv_idx);
+            out[rlo..rhi].copy_from_slice(&part);
+        }
+        out
+    }
+
+    /// Binomial reduce-to-root + broadcast all-reduce.
+    pub fn allreduce_tree(&mut self, buf: &mut Vec<f32>) {
+        let tag = self.next_tag();
+        let group: Vec<usize> = (0..self.size).collect();
+        self.tree_reduce_group(&group, 0, buf, tag);
+        self.broadcast_group(&group, 0, buf, tag | 1 << 24);
+    }
+
+    /// The paper's hybrid hierarchical all-reduce (§V-A3):
+    ///
+    /// 1. ring all-reduce among the `node_size` ranks of each node (NCCL
+    ///    over NVLink),
+    /// 2. `shard_leaders` ranks per node each all-reduce a `1/s` shard of
+    ///    the buffer across nodes (MPI over InfiniBand; 4 leaders ↔
+    ///    Summit's 4 virtual IB devices),
+    /// 3. each leader broadcasts its finished shard within the node (NCCL).
+    ///
+    /// # Panics
+    /// Panics unless `node_size` divides the world size and
+    /// `1 ≤ shard_leaders ≤ node_size`.
+    pub fn hierarchical_allreduce(&mut self, buf: &mut [f32], node_size: usize, shard_leaders: usize) {
+        assert!(node_size >= 1 && self.size.is_multiple_of(node_size), "node_size must divide world size");
+        assert!(shard_leaders >= 1 && shard_leaders <= node_size, "invalid shard leader count");
+        let seq = self.next_tag();
+        let node = self.rank / node_size;
+        let local = self.rank % node_size;
+        let node_group: Vec<usize> = (0..node_size).map(|l| node * node_size + l).collect();
+        let n_nodes = self.size / node_size;
+
+        // Phase 1: intra-node ring reduce (all locals end with node sum).
+        self.ring_allreduce_group(&node_group, buf, seq);
+
+        if n_nodes > 1 {
+            // Phase 2: shard leaders reduce across nodes.
+            let len = buf.len();
+            if local < shard_leaders {
+                let lo = local * len / shard_leaders;
+                let hi = (local + 1) * len / shard_leaders;
+                let cross_group: Vec<usize> = (0..n_nodes).map(|g| g * node_size + local).collect();
+                self.ring_allreduce_group(&cross_group, &mut buf[lo..hi], seq | 1 << 24);
+            }
+            // Phase 3: broadcast each shard within the node.
+            for leader in 0..shard_leaders {
+                let lo = leader * len / shard_leaders;
+                let hi = (leader + 1) * len / shard_leaders;
+                let mut shard = buf[lo..hi].to_vec();
+                self.broadcast_group(&node_group, node_group[leader], &mut shard, seq | 2 << 24 | (leader as u64) << 16);
+                buf[lo..hi].copy_from_slice(&shard);
+            }
+        }
+    }
+
+    // --- group primitives (callers pass a group containing self.rank) ----
+
+    fn group_pos(&self, group: &[usize]) -> usize {
+        group
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank must belong to the collective's group")
+    }
+
+    fn broadcast_group(&mut self, group: &[usize], root: usize, buf: &mut Vec<f32>, tag: u64) {
+        let g = group.len();
+        if g == 1 {
+            return;
+        }
+        let root_pos = group.iter().position(|&r| r == root).expect("root in group");
+        let me = (self.group_pos(group) + g - root_pos) % g; // relative position
+        // Binomial tree on relative positions.
+        if me != 0 {
+            let parent = (me - 1) / 2;
+            let src = group[(parent + root_pos) % g];
+            *buf = self.recv_f32(src, tag);
+        }
+        for child in [2 * me + 1, 2 * me + 2] {
+            if child < g {
+                let dst = group[(child + root_pos) % g];
+                self.send_f32(dst, tag, buf.clone());
+            }
+        }
+    }
+
+    fn tree_reduce_group(&mut self, group: &[usize], root_pos: usize, buf: &mut [f32], tag: u64) {
+        let g = group.len();
+        if g == 1 {
+            return;
+        }
+        assert_eq!(root_pos, 0, "tree reduce assumes the group's first member is root");
+        let me = self.group_pos(group);
+        // Children push partial sums up a binomial tree (reverse broadcast
+        // order so sums are deterministic: child 2m+2 then 2m+1).
+        for child in [2 * me + 2, 2 * me + 1] {
+            if child < g {
+                let part = self.recv_f32(group[child], tag);
+                for (a, b) in buf.iter_mut().zip(part.iter()) {
+                    *a += *b;
+                }
+            }
+        }
+        if me != 0 {
+            let parent = (me - 1) / 2;
+            self.send_f32(group[parent], tag, buf.to_vec());
+        }
+    }
+
+    fn ring_allreduce_group(&mut self, group: &[usize], buf: &mut [f32], tag: u64) {
+        let g = group.len();
+        if g == 1 {
+            return;
+        }
+        let me = self.group_pos(group);
+        let right = group[(me + 1) % g];
+        let left = group[(me + g - 1) % g];
+        let len = buf.len();
+        let bounds = |i: usize| (i * len / g, (i + 1) * len / g);
+
+        // Reduce-scatter: after g−1 steps, chunk (me+1)%g is complete here.
+        for step in 0..g - 1 {
+            let send_idx = (me + g - step) % g;
+            let recv_idx = (me + g - step - 1) % g;
+            let (slo, shi) = bounds(send_idx);
+            self.send_f32(right, tag | (step as u64) << 8, buf[slo..shi].to_vec());
+            let part = self.recv_f32(left, tag | (step as u64) << 8);
+            let (rlo, rhi) = bounds(recv_idx);
+            for (a, b) in buf[rlo..rhi].iter_mut().zip(part.iter()) {
+                *a += *b;
+            }
+        }
+        // All-gather: circulate finished chunks.
+        for step in 0..g - 1 {
+            let send_idx = (me + 1 + g - step) % g;
+            let recv_idx = (me + g - step) % g;
+            let (slo, shi) = bounds(send_idx);
+            self.send_f32(right, tag | 1 << 20 | (step as u64) << 8, buf[slo..shi].to_vec());
+            let part = self.recv_f32(left, tag | 1 << 20 | (step as u64) << 8);
+            let (rlo, rhi) = bounds(recv_idx);
+            buf[rlo..rhi].copy_from_slice(&part);
+        }
+    }
+
+    fn rhd_allreduce_group(&mut self, group: &[usize], buf: &mut [f32], tag: u64) {
+        let g = group.len();
+        if g == 1 {
+            return;
+        }
+        let me = self.group_pos(group);
+        let p2 = {
+            let mut p = 1usize;
+            while p * 2 <= g {
+                p *= 2;
+            }
+            p
+        };
+        let extra = g - p2;
+
+        // Fold the excess ranks into partners.
+        let active: Option<usize> = if me < 2 * extra {
+            if !me.is_multiple_of(2) {
+                self.send_f32(group[me - 1], tag, buf.to_vec());
+                None
+            } else {
+                let part = self.recv_f32(group[me + 1], tag);
+                for (a, b) in buf.iter_mut().zip(part.iter()) {
+                    *a += *b;
+                }
+                Some(me / 2)
+            }
+        } else {
+            Some(me - extra)
+        };
+        let actual = |id: usize| -> usize {
+            if id < extra {
+                group[2 * id]
+            } else {
+                group[id + extra]
+            }
+        };
+
+        if let Some(id) = active {
+            // Recursive doubling: exchange full buffers with partner at
+            // each bit level. Elementwise a+b is commutative, so both
+            // partners compute identical bits.
+            let mut mask = 1usize;
+            while mask < p2 {
+                let partner = actual(id ^ mask);
+                self.send_f32(partner, tag | (mask as u64) << 8, buf.to_vec());
+                let part = self.recv_f32(partner, tag | (mask as u64) << 8);
+                for (a, b) in buf.iter_mut().zip(part.iter()) {
+                    *a += *b;
+                }
+                mask <<= 1;
+            }
+        }
+
+        // Unfold: partners return the final buffer to folded ranks.
+        if me < 2 * extra {
+            if me.is_multiple_of(2) {
+                self.send_f32(group[me + 1], tag | 1 << 20, buf.to_vec());
+            } else {
+                let out = self.recv_f32(group[me - 1], tag | 1 << 20);
+                buf.copy_from_slice(&out);
+            }
+        }
+    }
+}

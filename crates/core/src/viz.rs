@@ -1,0 +1,87 @@
+//! Figure 7-style mask rendering.
+//!
+//! The paper overlays segmentation masks on the integrated-water-vapor
+//! (TMQ) field: ARs in blue, TCs in red, the moisture field in
+//! white→yellow. We render the same composition to PPM (and ASCII for
+//! terminals).
+
+use exaclim_climsim::classes;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Renders a TMQ backdrop with mask overlays to a binary PPM file.
+///
+/// * `tmq` — the water-vapor channel, row-major `h×w`.
+/// * `mask` — per-pixel classes (BG/TC/AR).
+pub fn write_mask_ppm(path: impl AsRef<Path>, tmq: &[f32], mask: &[u8], h: usize, w: usize) -> io::Result<()> {
+    assert_eq!(tmq.len(), h * w);
+    assert_eq!(mask.len(), h * w);
+    let (lo, hi) = tmq.iter().fold((f32::INFINITY, f32::NEG_INFINITY), |(a, b), &v| {
+        (a.min(v), b.max(v))
+    });
+    let range = (hi - lo).max(1e-6);
+    let mut buf = Vec::with_capacity(h * w * 3 + 64);
+    buf.extend_from_slice(format!("P6\n{w} {h}\n255\n").as_bytes());
+    for i in 0..h * w {
+        let t = (tmq[i] - lo) / range;
+        // White→yellow moisture ramp.
+        let backdrop = [255, 255, (255.0 * (1.0 - t)) as u8];
+        let px = match mask[i] {
+            classes::TC => [230, 40, 30],
+            classes::AR => [40, 80, 230],
+            _ => backdrop,
+        };
+        buf.extend_from_slice(&px);
+    }
+    std::fs::File::create(path)?.write_all(&buf)
+}
+
+/// Renders prediction-vs-label agreement as ASCII (the Figure 7b inset):
+/// `.` background, `T`/`A` correct TC/AR, `t`/`a` predicted-only,
+/// `x` label-only (missed).
+pub fn ascii_compare(pred: &[u8], truth: &[u8], h: usize, w: usize) -> String {
+    let mut s = String::with_capacity((w + 1) * h);
+    for y in 0..h {
+        for x in 0..w {
+            let i = y * w + x;
+            let ch = match (pred[i], truth[i]) {
+                (classes::TC, classes::TC) => 'T',
+                (classes::AR, classes::AR) => 'A',
+                (classes::TC, _) => 't',
+                (classes::AR, _) => 'a',
+                (_, classes::TC) | (_, classes::AR) => 'x',
+                _ => '.',
+            };
+            s.push(ch);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_has_correct_size_and_header() {
+        let dir = std::env::temp_dir().join(format!("exaclim_viz_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("mask.ppm");
+        let tmq: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let mask = vec![0u8, 0, 1, 2, 0, 0, 1, 1, 2, 2, 0, 0];
+        write_mask_ppm(&path, &tmq, &mask, 3, 4).expect("write");
+        let data = std::fs::read(&path).expect("read");
+        assert!(data.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(data.len(), 11 + 36);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ascii_marks_agreement_and_misses() {
+        let pred = vec![0u8, 1, 2, 0];
+        let truth = vec![0u8, 1, 0, 2];
+        let s = ascii_compare(&pred, &truth, 1, 4);
+        assert_eq!(s.trim_end(), ".Tax");
+    }
+}

@@ -1,0 +1,284 @@
+//! Readiness coordination: agreeing on a total order of all-reduces.
+//!
+//! Each TensorFlow process schedules its graph independently, so gradient
+//! tensors become ready in different orders on different ranks; executing
+//! collectives in mismatched orders deadlocks (§V-A3). Horovod's solution
+//! is a coordinator that collects *readiness* messages and broadcasts an
+//! agreed order. This module implements both the original centralized
+//! protocol and the paper's hierarchical aggregation tree, over the real
+//! point-to-point channels of `exaclim-comm`, so message counts are
+//! *measured*, not estimated.
+
+use exaclim_comm::Communicator;
+
+const TAG_READY: u64 = 0xC0_0001;
+const TAG_BEGIN: u64 = 0xC0_0002;
+
+/// Control-plane variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlPlane {
+    /// Original Horovod: every rank reports readiness directly to rank 0,
+    /// which replies to every rank with ordered begin-batches.
+    Centralized,
+    /// §V-A3: ranks form a radix-`r` tree; readiness aggregates upward
+    /// (a parent reports a tensor only when its whole subtree is ready)
+    /// and begin-batches relay downward. No rank exchanges more than
+    /// `r + 1` messages per tensor.
+    Hierarchical {
+        /// Tree radix (the paper saw no difference for r ∈ [2, 8]).
+        radix: usize,
+    },
+}
+
+/// A per-step coordinator for `n_tensors` named gradient tensors.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    plane: ControlPlane,
+    n_tensors: usize,
+}
+
+fn encode_ids(ids: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ids.len() * 4);
+    for id in ids {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out
+}
+
+fn decode_ids(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+impl Coordinator {
+    /// A coordinator for a fixed tensor universe.
+    pub fn new(plane: ControlPlane, n_tensors: usize) -> Coordinator {
+        Coordinator { plane, n_tensors }
+    }
+
+    /// Runs one coordination round.
+    ///
+    /// `ready_order` is the order in which *this* rank's tensors became
+    /// ready (a permutation of `0..n_tensors`). Returns the agreed global
+    /// order — identical on every rank.
+    pub fn coordinate(&self, comm: &mut Communicator, ready_order: &[u32]) -> Vec<u32> {
+        assert_eq!(ready_order.len(), self.n_tensors, "must report every tensor");
+        match self.plane {
+            ControlPlane::Centralized => self.coordinate_tree(comm, ready_order, comm.size().max(1)),
+            ControlPlane::Hierarchical { radix } => {
+                assert!(radix >= 1, "radix must be positive");
+                self.coordinate_tree(comm, ready_order, radix)
+            }
+        }
+    }
+
+    /// Shared tree implementation: the centralized protocol is simply the
+    /// degenerate tree with radix = world size (rank 0 is every rank's
+    /// parent), which is exactly how the paper describes its change —
+    /// "rank 0 ... operates as if there were only r+1 ranks to coordinate".
+    fn coordinate_tree(&self, comm: &mut Communicator, ready_order: &[u32], radix: usize) -> Vec<u32> {
+        let rank = comm.rank();
+        let size = comm.size();
+        let parent = if rank == 0 { None } else { Some((rank - 1) / radix) };
+        let children: Vec<usize> = (1..=radix)
+            .map(|i| rank * radix + i)
+            .filter(|&c| c < size)
+            .collect();
+        let n_children = children.len();
+
+        // Subtree readiness: tensor t is subtree-ready when this rank has
+        // seen its own readiness plus a ready message from every child.
+        let mut own_reported = vec![false; self.n_tensors];
+        let mut child_counts = vec![0usize; self.n_tensors];
+        let mut sent_up = vec![false; self.n_tensors];
+        // Root bookkeeping.
+        let mut begun = vec![false; self.n_tensors];
+        let mut order: Vec<u32> = Vec::with_capacity(self.n_tensors);
+        let mut next_own = 0usize;
+
+        loop {
+            // Feed our own readiness progressively (models the dynamic
+            // scheduler handing tensors over one by one).
+            if next_own < ready_order.len() {
+                let t = ready_order[next_own] as usize;
+                own_reported[t] = true;
+                next_own += 1;
+            }
+
+            // Drain incoming control messages.
+            while let Some((src, tag, payload)) = comm.try_recv_bytes_any() {
+                match tag {
+                    TAG_READY => {
+                        debug_assert!(children.contains(&src), "ready from non-child {src}");
+                        for t in decode_ids(&payload) {
+                            child_counts[t as usize] += 1;
+                        }
+                    }
+                    TAG_BEGIN => {
+                        debug_assert_eq!(Some(src), parent, "begin from non-parent {src}");
+                        let batch = decode_ids(&payload);
+                        // Relay downward first (§V-A3), then adopt.
+                        if !batch.is_empty() {
+                            for &c in &children {
+                                comm.send_bytes(c, TAG_BEGIN, encode_ids(&batch));
+                            }
+                            order.extend_from_slice(&batch);
+                        }
+                    }
+                    other => panic!("unexpected control tag {other:#x}"),
+                }
+            }
+
+            // Report subtree-complete tensors upward (or begin them, at
+            // the root).
+            let mut newly_ready = Vec::new();
+            for t in 0..self.n_tensors {
+                if !sent_up[t] && own_reported[t] && child_counts[t] == n_children {
+                    sent_up[t] = true;
+                    newly_ready.push(t as u32);
+                }
+            }
+            if !newly_ready.is_empty() {
+                match parent {
+                    Some(p) => comm.send_bytes(p, TAG_READY, encode_ids(&newly_ready)),
+                    None => {
+                        // Root: a subtree-complete tensor is globally
+                        // complete. Emit a begin batch.
+                        let batch: Vec<u32> = newly_ready
+                            .into_iter()
+                            .filter(|&t| !begun[t as usize])
+                            .collect();
+                        for &t in &batch {
+                            begun[t as usize] = true;
+                        }
+                        if !batch.is_empty() {
+                            for &c in &children {
+                                comm.send_bytes(c, TAG_BEGIN, encode_ids(&batch));
+                            }
+                            order.extend_from_slice(&batch);
+                        }
+                    }
+                }
+            }
+
+            if order.len() == self.n_tensors {
+                return order;
+            }
+            // Single-core friendliness: let peer rank threads run.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Upper bound on messages a single rank exchanges per tensor under
+    /// this plane — `2·(r+1)` for the hierarchical tree vs `2·N` at rank 0
+    /// under the centralized protocol.
+    pub fn max_messages_per_tensor(&self, world: usize) -> usize {
+        match self.plane {
+            ControlPlane::Centralized => 2 * world,
+            ControlPlane::Hierarchical { radix } => 2 * (radix + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaclim_comm::CommWorld;
+    use std::thread;
+
+    fn run_coordination(n: usize, plane: ControlPlane, n_tensors: usize, shuffle: bool) -> (Vec<Vec<u32>>, u64, u64) {
+        let comms = CommWorld::new(n);
+        let stats = comms[0].stats();
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, mut comm)| {
+                thread::spawn(move || {
+                    let coord = Coordinator::new(plane, n_tensors);
+                    let mut ready: Vec<u32> = (0..n_tensors as u32).collect();
+                    if shuffle {
+                        // Deterministic per-rank permutation: rotate by rank
+                        // and reverse on odd ranks, so orders genuinely differ.
+                        ready.rotate_left(rank % n_tensors.max(1));
+                        if rank % 2 == 1 {
+                            ready.reverse();
+                        }
+                    }
+                    coord.coordinate(&mut comm, &ready)
+                })
+            })
+            .collect();
+        let orders: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().expect("rank")).collect();
+        let rank0_msgs = stats.messages_sent(0) + stats.messages_received(0);
+        let max_other = (1..n)
+            .map(|r| stats.messages_sent(r) + stats.messages_received(r))
+            .max()
+            .unwrap_or(0);
+        (orders, rank0_msgs, max_other)
+    }
+
+    #[test]
+    fn all_ranks_agree_on_total_order() {
+        for plane in [ControlPlane::Centralized, ControlPlane::Hierarchical { radix: 2 }] {
+            let (orders, _, _) = run_coordination(6, plane, 9, true);
+            let mut sorted = orders[0].clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..9).collect::<Vec<u32>>(), "order is a permutation");
+            for o in &orders[1..] {
+                assert_eq!(o, &orders[0], "{plane:?} must produce one total order");
+            }
+        }
+    }
+
+    #[test]
+    fn works_with_identical_orders_too() {
+        let (orders, _, _) = run_coordination(4, ControlPlane::Hierarchical { radix: 3 }, 5, false);
+        for o in &orders {
+            assert_eq!(o.len(), 5);
+        }
+    }
+
+    #[test]
+    fn hierarchical_offloads_rank0() {
+        let n = 12;
+        let tensors = 24;
+        let (_, central_rank0, _) = run_coordination(n, ControlPlane::Centralized, tensors, true);
+        let (_, hier_rank0, _) = run_coordination(n, ControlPlane::Hierarchical { radix: 2 }, tensors, true);
+        assert!(
+            hier_rank0 * 2 < central_rank0,
+            "hierarchical rank-0 traffic {hier_rank0} vs centralized {central_rank0}"
+        );
+    }
+
+    #[test]
+    fn radix_choice_does_not_change_agreement() {
+        // §V-A3: "no measurable performance difference for r between 2 and
+        // 8" — and certainly no *semantic* difference.
+        let mut reference: Option<usize> = None;
+        for radix in [2, 3, 4, 8] {
+            let (orders, _, max_other) = run_coordination(9, ControlPlane::Hierarchical { radix }, 7, true);
+            assert_eq!(orders[0].len(), 7);
+            // Non-root ranks stay under the (r+1) per-tensor bound with
+            // batching slack.
+            let bound = 2 * (radix + 1) * 7;
+            assert!(max_other as usize <= bound, "radix {radix}: {max_other} > {bound}");
+            reference.get_or_insert(orders[0].len());
+        }
+    }
+
+    #[test]
+    fn single_rank_is_trivial() {
+        let (orders, _, _) = run_coordination(1, ControlPlane::Hierarchical { radix: 4 }, 3, false);
+        assert_eq!(orders[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn message_bound_formula() {
+        let c = Coordinator::new(ControlPlane::Centralized, 10);
+        assert_eq!(c.max_messages_per_tensor(27360), 54720);
+        let h = Coordinator::new(ControlPlane::Hierarchical { radix: 4 }, 10);
+        assert_eq!(h.max_messages_per_tensor(27360), 10);
+    }
+}

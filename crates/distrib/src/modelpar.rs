@@ -1,0 +1,282 @@
+//! Model parallelism by spatial domain decomposition (§VIII-B).
+//!
+//! The paper's outlook: "Systems like Summit (with high speed NVLink
+//! connections between processors) are amenable to domain decomposition
+//! techniques that split layers across processors." This module implements
+//! the core primitive for convolutional networks: each rank owns a
+//! horizontal stripe of the image, and convolutions exchange **halo rows**
+//! with their neighbours before computing, so the stitched result is
+//! bitwise identical to the single-rank convolution.
+//!
+//! This is real message-passing code over `exaclim-comm` — the same
+//! communicator the data-parallel trainer uses — demonstrating that the
+//! two parallelism modes compose on one substrate.
+
+use exaclim_comm::Communicator;
+use exaclim_tensor::ops::{conv2d_forward, Conv2dParams, ConvAlgo};
+use exaclim_tensor::{Shape, Tensor};
+
+const TAG_HALO_DOWN: u64 = 0xD0_0001; // rows flowing to the next rank
+const TAG_HALO_UP: u64 = 0xD0_0002; // rows flowing to the previous rank
+
+/// A horizontal stripe of an NCHW tensor, owned by one rank.
+#[derive(Debug, Clone)]
+pub struct Stripe {
+    /// Local rows (full width), `[N, C, rows, W]`.
+    pub data: Tensor,
+    /// Global row index of this stripe's first row.
+    pub row_offset: usize,
+    /// Total global height.
+    pub global_h: usize,
+}
+
+/// Splits a full tensor into `n` near-equal horizontal stripes
+/// (single-rank reference path and test harness).
+pub fn split_rows(x: &Tensor, n: usize) -> Vec<Stripe> {
+    let (nb, c, h, w) = x.shape().nchw();
+    assert!(n >= 1 && n <= h, "cannot split {h} rows across {n} ranks");
+    let xs = x.as_slice();
+    (0..n)
+        .map(|r| {
+            let lo = r * h / n;
+            let hi = (r + 1) * h / n;
+            let rows = hi - lo;
+            let mut data = Tensor::zeros([nb, c, rows, w], x.dtype());
+            {
+                let ds = data.as_mut_slice();
+                for b in 0..nb {
+                    for ci in 0..c {
+                        let src = ((b * c + ci) * h + lo) * w;
+                        let dst = ((b * c + ci) * rows) * w;
+                        ds[dst..dst + rows * w].copy_from_slice(&xs[src..src + rows * w]);
+                    }
+                }
+            }
+            Stripe { data, row_offset: lo, global_h: h }
+        })
+        .collect()
+}
+
+/// Reassembles stripes into a full tensor (inverse of [`split_rows`]).
+pub fn join_rows(stripes: &[Stripe]) -> Tensor {
+    assert!(!stripes.is_empty());
+    let (nb, c, _, w) = stripes[0].data.shape().nchw();
+    let h = stripes[0].global_h;
+    let mut out = Tensor::zeros([nb, c, h, w], stripes[0].data.dtype());
+    {
+        let os = out.as_mut_slice();
+        for s in stripes {
+            let (_, _, rows, _) = s.data.shape().nchw();
+            let ss = s.data.as_slice();
+            for b in 0..nb {
+                for ci in 0..c {
+                    let dst = ((b * c + ci) * h + s.row_offset) * w;
+                    let src = ((b * c + ci) * rows) * w;
+                    os[dst..dst + rows * w].copy_from_slice(&ss[src..src + rows * w]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts `rows` rows starting at `start` from a stripe tensor.
+fn take_rows(x: &Tensor, start: usize, rows: usize) -> Vec<f32> {
+    let (nb, c, h, w) = x.shape().nchw();
+    assert!(start + rows <= h);
+    let xs = x.as_slice();
+    let mut out = Vec::with_capacity(nb * c * rows * w);
+    for b in 0..nb {
+        for ci in 0..c {
+            let base = ((b * c + ci) * h + start) * w;
+            out.extend_from_slice(&xs[base..base + rows * w]);
+        }
+    }
+    out
+}
+
+/// Spatially-parallel convolution forward over a stripe.
+///
+/// `group` lists the ranks that share the image, in top-to-bottom stripe
+/// order; this rank must appear in it. Exchanges `halo = dilation·(k−1)/2`
+/// rows with each neighbour, builds the halo-padded local input, convolves,
+/// and returns the local output stripe. Requires unit stride (the
+/// decomposition for strided convs needs row-parity bookkeeping that the
+/// paper's outlook does not call for).
+///
+/// The stitched result equals the single-rank convolution bitwise.
+pub fn conv2d_forward_spatial(
+    comm: &mut Communicator,
+    group: &[usize],
+    stripe: &Stripe,
+    weight: &Tensor,
+    params: Conv2dParams,
+) -> Stripe {
+    assert_eq!(params.stride, 1, "spatial decomposition requires stride 1");
+    let (_, _, k, k2) = weight.shape().nchw();
+    assert_eq!(k, k2, "square kernels only");
+    let halo = params.dilation * (k - 1) / 2;
+    assert_eq!(params.pad, halo, "same-size convs only (pad = dilation·(k−1)/2)");
+    let pos = group
+        .iter()
+        .position(|&r| r == comm.rank())
+        .expect("rank must be in the spatial group");
+    let (nb, c, rows, w) = stripe.data.shape().nchw();
+    assert!(halo <= rows, "stripe of {rows} rows cannot supply a {halo}-row halo");
+
+    // Exchange halos with neighbours (send first: channels are unbounded).
+    let up = (pos > 0).then(|| group[pos - 1]);
+    let down = (pos + 1 < group.len()).then(|| group[pos + 1]);
+    if halo > 0 {
+        if let Some(d) = down {
+            comm.send_f32(d, TAG_HALO_DOWN, take_rows(&stripe.data, rows - halo, halo));
+        }
+        if let Some(u) = up {
+            comm.send_f32(u, TAG_HALO_UP, take_rows(&stripe.data, 0, halo));
+        }
+    }
+    let halo_top = match (halo > 0, up) {
+        (true, Some(u)) => Some(comm.recv_f32(u, TAG_HALO_DOWN)),
+        _ => None,
+    };
+    let halo_bot = match (halo > 0, down) {
+        (true, Some(d)) => Some(comm.recv_f32(d, TAG_HALO_UP)),
+        _ => None,
+    };
+
+    // Build the extended local input: [halo_top? + stripe + halo_bot?].
+    let top_rows = halo_top.as_ref().map_or(0, |_| halo);
+    let bot_rows = halo_bot.as_ref().map_or(0, |_| halo);
+    let ext_rows = rows + top_rows + bot_rows;
+    let mut ext = Tensor::zeros([nb, c, ext_rows, w], stripe.data.dtype());
+    {
+        let es = ext.as_mut_slice();
+        let ss = stripe.data.as_slice();
+        for b in 0..nb {
+            for ci in 0..c {
+                let plane = b * c + ci;
+                let dst = (plane * ext_rows + top_rows) * w;
+                let src = plane * rows * w;
+                es[dst..dst + rows * w].copy_from_slice(&ss[src..src + rows * w]);
+                if let Some(ht) = &halo_top {
+                    let hsrc = plane * halo * w;
+                    es[plane * ext_rows * w..plane * ext_rows * w + halo * w]
+                        .copy_from_slice(&ht[hsrc..hsrc + halo * w]);
+                }
+                if let Some(hb) = &halo_bot {
+                    let hsrc = plane * halo * w;
+                    let hdst = (plane * ext_rows + top_rows + rows) * w;
+                    es[hdst..hdst + halo * w].copy_from_slice(&hb[hsrc..hsrc + halo * w]);
+                }
+            }
+        }
+    }
+
+    // Convolve with vertical padding only where no neighbour exists. The
+    // kernel pads both H and W uniformly, so pad fully and crop the rows
+    // that the halo already covers.
+    let y_ext = conv2d_forward(&ext, weight, params, ConvAlgo::Auto);
+    let (_, oc, _, ow) = y_ext.shape().nchw();
+    let mut out = Tensor::zeros([nb, oc, rows, ow], y_ext.dtype());
+    {
+        let os = out.as_mut_slice();
+        let ys = y_ext.as_slice();
+        let (_, _, ext_out_rows, _) = y_ext.shape().nchw();
+        for b in 0..nb {
+            for ci in 0..oc {
+                let src = ((b * oc + ci) * ext_out_rows + top_rows) * ow;
+                let dst = ((b * oc + ci) * rows) * ow;
+                os[dst..dst + rows * ow].copy_from_slice(&ys[src..src + rows * ow]);
+            }
+        }
+    }
+    Stripe {
+        data: out,
+        row_offset: stripe.row_offset,
+        global_h: stripe.global_h,
+    }
+}
+
+/// Bytes exchanged per rank per spatially-parallel convolution — the cost
+/// model input for the §VIII-B outlook analysis.
+pub fn halo_bytes(shape: &Shape, kernel: usize, dilation: usize, dtype_bytes: usize) -> usize {
+    let (nb, c, _, w) = shape.nchw();
+    let halo = dilation * (kernel - 1) / 2;
+    2 * nb * c * halo * w * dtype_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaclim_comm::CommWorld;
+    use exaclim_tensor::init::{randn, seeded_rng};
+    use exaclim_tensor::DType;
+
+    fn run_spatial_conv(n_ranks: usize, p: Conv2dParams, kernel: usize) -> (Tensor, Tensor) {
+        let mut rng = seeded_rng(404);
+        let x = randn([1, 3, 12, 10], DType::F32, 1.0, &mut rng);
+        let w = randn([4, 3, kernel, kernel], DType::F32, 0.4, &mut rng);
+        let reference = conv2d_forward(&x, &w, p, ConvAlgo::Direct);
+
+        let stripes = split_rows(&x, n_ranks);
+        let comms = CommWorld::new(n_ranks);
+        let group: Vec<usize> = (0..n_ranks).collect();
+        let handles: Vec<_> = comms
+            .into_iter()
+            .zip(stripes)
+            .map(|(mut comm, stripe)| {
+                let w = w.clone();
+                let group = group.clone();
+                std::thread::spawn(move || conv2d_forward_spatial(&mut comm, &group, &stripe, &w, p))
+            })
+            .collect();
+        let outs: Vec<Stripe> = handles.into_iter().map(|h| h.join().expect("rank")).collect();
+        (join_rows(&outs), reference)
+    }
+
+    #[test]
+    fn split_join_roundtrip() {
+        let mut rng = seeded_rng(1);
+        let x = randn([2, 3, 11, 5], DType::F32, 1.0, &mut rng);
+        for n in [1, 2, 3, 4] {
+            let stripes = split_rows(&x, n);
+            assert_eq!(stripes.len(), n);
+            let back = join_rows(&stripes);
+            assert_eq!(back.as_slice(), x.as_slice(), "{n} stripes");
+        }
+    }
+
+    #[test]
+    fn spatial_conv_matches_single_rank_bitwise() {
+        for n in [2usize, 3, 4] {
+            let (stitched, reference) = run_spatial_conv(n, Conv2dParams::padded(1), 3);
+            assert_eq!(
+                stitched.as_slice(),
+                reference.as_slice(),
+                "{n}-rank spatial conv must match exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_atrous_conv_matches() {
+        // Dilation 2 needs a 2-row halo — the ASPP case.
+        let (stitched, reference) = run_spatial_conv(2, Conv2dParams::atrous(2), 3);
+        assert_eq!(stitched.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn spatial_1x1_needs_no_halo() {
+        let (stitched, reference) = run_spatial_conv(3, Conv2dParams::default(), 1);
+        assert_eq!(stitched.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn halo_traffic_formula() {
+        // 256 channels at 1152-wide FP16 with a 3×3 kernel: 2 edges × 1 row.
+        let s = Shape::new(&[1, 256, 96, 1152]);
+        assert_eq!(halo_bytes(&s, 3, 1, 2), 2 * 256 * 1152 * 2);
+        assert_eq!(halo_bytes(&s, 1, 1, 2), 0, "1×1 convs exchange nothing");
+        assert_eq!(halo_bytes(&s, 3, 12, 2), 2 * 256 * 12 * 1152 * 2, "atrous d12 halo");
+    }
+}

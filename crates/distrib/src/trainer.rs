@@ -1,0 +1,563 @@
+//! Synchronous data-parallel training over thread ranks.
+//!
+//! Each rank owns a full model replica built from the same seed
+//! ("assuming consistent initialization", §V-A3), trains on its own local
+//! batches, and participates in per-step gradient averaging through the
+//! hybrid hierarchical all-reduce. Because the collectives are bitwise
+//! deterministic, every replica applies *identical* updates — which the
+//! trainer verifies by hashing parameters.
+
+use crate::control::{ControlPlane, Coordinator};
+use crate::fusion::fuse;
+use exaclim_comm::{CommWorld, Communicator};
+use exaclim_nn::loss::{Labels, WeightedCrossEntropy};
+use exaclim_nn::optim::{Adam, Lagged, LarcSgd, Optimizer, Sgd};
+use exaclim_nn::{Ctx, Layer, ParamSet};
+use exaclim_tensor::init::seeded_rng;
+use exaclim_tensor::profile::{self, KernelKind};
+use exaclim_tensor::{DType, Tensor};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One local batch: input `[N, C, H, W]`, labels, per-pixel loss weights.
+pub struct Batch {
+    /// Input fields.
+    pub input: Tensor,
+    /// Ground-truth class labels.
+    pub labels: Labels,
+    /// Per-pixel loss weights (§V-B1), length `N·H·W`.
+    pub weights: Vec<f32>,
+}
+
+/// Supplies local batches to one rank.
+pub trait BatchSource: Send {
+    /// The next local batch (ranks draw disjoint or independently-sampled
+    /// shards, per the staging design of §V-A1).
+    fn next_batch(&mut self) -> Batch;
+}
+
+/// Optimizer selection for the distributed trainer.
+#[derive(Debug, Clone, Copy)]
+pub enum OptimizerKind {
+    /// SGD with momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum.
+        momentum: f32,
+    },
+    /// Adam (the paper's Tiramisu optimizer).
+    Adam {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// LARC around SGD-momentum (§V-B2).
+    Larc {
+        /// Global learning-rate clip.
+        lr: f32,
+        /// Trust coefficient.
+        trust: f32,
+    },
+}
+
+fn build_optimizer(kind: OptimizerKind, lag: Option<usize>, grad_scale: f32) -> Box<dyn Optimizer + Send> {
+    fn wrap<O: Optimizer + Send + 'static>(opt: O, lag: Option<usize>) -> Box<dyn Optimizer + Send> {
+        match lag {
+            Some(depth) => Box::new(Lagged::with_depth(opt, depth)),
+            None => Box::new(opt),
+        }
+    }
+    match kind {
+        OptimizerKind::Sgd { lr, momentum } => {
+            let mut o = Sgd::new(lr);
+            o.momentum = momentum;
+            o.grad_scale = grad_scale;
+            wrap(o, lag)
+        }
+        OptimizerKind::Adam { lr } => {
+            let mut o = Adam::new(lr);
+            o.grad_scale = grad_scale;
+            wrap(o, lag)
+        }
+        OptimizerKind::Larc { lr, trust } => {
+            let mut o = LarcSgd::new(lr, trust);
+            o.sgd_mut().grad_scale = grad_scale;
+            wrap(o, lag)
+        }
+    }
+}
+
+/// Distributed-training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of rank threads (GPUs).
+    pub ranks: usize,
+    /// Ranks per simulated node (6 on Summit).
+    pub node_size: usize,
+    /// Shard leaders for the hierarchical all-reduce (4 on Summit).
+    pub shard_leaders: usize,
+    /// Control-plane variant.
+    pub control: ControlPlane,
+    /// Optimizer.
+    pub optimizer: OptimizerKind,
+    /// §V-B4 gradient lag.
+    pub gradient_lag: bool,
+    /// Lag depth when `gradient_lag` is set (1 = the paper's lag 1;
+    /// larger = the EASGD-style deeper lags §V-B4 cites).
+    pub lag_depth: usize,
+    /// Training precision for activations.
+    pub precision: DType,
+    /// FP16 loss scale (1.0 for FP32).
+    pub loss_scale: f32,
+    /// Steps to run.
+    pub steps: usize,
+    /// Global seed (model init; per-rank streams derive from it).
+    pub seed: u64,
+    /// Horovod-style fusion threshold in bytes.
+    pub fusion_threshold_bytes: usize,
+    /// Randomize each rank's gradient-ready order (models TensorFlow's
+    /// independent dynamic schedulers).
+    pub shuffle_ready_order: bool,
+    /// Quantize gradients through binary16 before the all-reduce (§VIII-B:
+    /// "compression techniques can be used at the expense of already
+    /// heavily utilized main processors"). Halves wire bytes; replicas
+    /// stay bitwise consistent because every rank quantizes identically.
+    pub compress_gradients: bool,
+}
+
+impl TrainerConfig {
+    /// A small sane default.
+    pub fn new(ranks: usize) -> TrainerConfig {
+        TrainerConfig {
+            ranks,
+            node_size: ranks.min(2),
+            shard_leaders: 1,
+            control: ControlPlane::Hierarchical { radix: 2 },
+            optimizer: OptimizerKind::Sgd { lr: 0.01, momentum: 0.9 },
+            gradient_lag: false,
+            lag_depth: 1,
+            precision: DType::F32,
+            loss_scale: 1.0,
+            steps: 4,
+            seed: 1234,
+            fusion_threshold_bytes: 1 << 20,
+            shuffle_ready_order: true,
+            compress_gradients: false,
+        }
+    }
+}
+
+/// One step's aggregate record.
+#[derive(Debug, Clone, Copy)]
+pub struct StepRecord {
+    /// Step index.
+    pub step: usize,
+    /// Loss averaged over all ranks.
+    pub mean_loss: f32,
+    /// Wall-clock duration of the step on rank 0, seconds.
+    pub wall_time_s: f64,
+}
+
+/// Result of a distributed run.
+#[derive(Debug)]
+pub struct TrainingReport {
+    /// Per-step aggregates.
+    pub steps: Vec<StepRecord>,
+    /// Final parameter hash per rank.
+    pub final_hashes: Vec<u64>,
+    /// True if every rank ended with bitwise-identical parameters.
+    pub consistent: bool,
+    /// Control messages sent+received by rank 0 over the whole run.
+    pub rank0_control_messages: u64,
+    /// Fused all-reduce launches per rank per step.
+    pub allreduce_launches_per_step: usize,
+    /// Logical gradient bytes on the wire per rank per step (halved by
+    /// FP16 gradient compression).
+    pub wire_bytes_per_step: u64,
+    /// Non-finite loss detected (FP16 overflow diagnostics).
+    pub diverged: bool,
+}
+
+/// Runs synchronous data-parallel training. Returns the report and the
+/// trained rank-0 replica (identical to every other replica when
+/// `report.consistent`).
+///
+/// * `model_builder` must construct the network deterministically from the
+///   provided RNG: every rank calls it with an identically-seeded stream.
+/// * `source_builder(rank)` builds that rank's batch source.
+pub fn train_data_parallel<B, MB, SB>(
+    config: &TrainerConfig,
+    model_builder: MB,
+    source_builder: SB,
+) -> (TrainingReport, Box<dyn Layer>)
+where
+    B: BatchSource + 'static,
+    MB: Fn(&mut rand::rngs::StdRng) -> Box<dyn Layer> + Send + Sync + Clone + 'static,
+    SB: Fn(usize) -> B + Send + Sync,
+{
+    assert!(config.ranks >= 1, "need at least one rank");
+    assert_eq!(config.ranks % config.node_size, 0, "node_size must divide ranks");
+    let comms = CommWorld::new(config.ranks);
+    let stats = comms[0].stats();
+    let cfg = config.clone();
+
+    let mut results: Vec<RankResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .enumerate()
+            .map(|(rank, comm)| {
+                let cfg = cfg.clone();
+                let mb = model_builder.clone();
+                let source = source_builder(rank);
+                scope.spawn(move || rank_main(rank, comm, cfg, mb, source))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank thread")).collect()
+    });
+
+    let n_steps = results[0].losses.len();
+    let mut steps = Vec::with_capacity(n_steps);
+    let mut diverged = false;
+    for s in 0..n_steps {
+        let mean_loss: f32 = results.iter().map(|r| r.losses[s]).sum::<f32>() / results.len() as f32;
+        if !mean_loss.is_finite() {
+            diverged = true;
+        }
+        steps.push(StepRecord {
+            step: s,
+            mean_loss,
+            wall_time_s: results[0].wall_times[s],
+        });
+    }
+    let final_hashes: Vec<u64> = results.iter().map(|r| r.final_hash).collect();
+    let consistent = final_hashes.windows(2).all(|w| w[0] == w[1])
+        && results.iter().all(|r| r.per_step_hashes_consistent);
+    let report = TrainingReport {
+        steps,
+        consistent,
+        final_hashes,
+        rank0_control_messages: stats.messages_sent(0) + stats.messages_received(0),
+        allreduce_launches_per_step: results[0].allreduce_launches_per_step,
+        wire_bytes_per_step: results[0].wire_bytes_per_step,
+        diverged,
+    };
+    let model = results.swap_remove(0).model;
+    (report, model)
+}
+
+struct RankResult {
+    losses: Vec<f32>,
+    wall_times: Vec<f64>,
+    final_hash: u64,
+    per_step_hashes_consistent: bool,
+    allreduce_launches_per_step: usize,
+    wire_bytes_per_step: u64,
+    model: Box<dyn Layer>,
+}
+
+fn rank_main<B, MB>(
+    rank: usize,
+    mut comm: Communicator,
+    cfg: TrainerConfig,
+    model_builder: MB,
+    mut source: B,
+) -> RankResult
+where
+    B: BatchSource,
+    MB: Fn(&mut rand::rngs::StdRng) -> Box<dyn Layer>,
+{
+    // Identical replica on every rank.
+    let mut init_rng = seeded_rng(cfg.seed);
+    let mut model = model_builder(&mut init_rng);
+    let params = model.params();
+    let sizes: Vec<usize> = params.iter().map(|p| p.numel()).collect();
+    let n_tensors = sizes.len();
+    let coordinator = Coordinator::new(cfg.control, n_tensors);
+    let loss_fn = WeightedCrossEntropy::with_scale(cfg.loss_scale);
+    let lag = cfg.gradient_lag.then_some(cfg.lag_depth.max(1));
+    let mut optimizer = build_optimizer(cfg.optimizer, lag, cfg.loss_scale);
+    // Dropout decorrelates across ranks; model init does not.
+    let mut ctx = Ctx::train(cfg.seed ^ (rank as u64 + 1) << 17);
+    let mut shuffle_rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xABCD ^ rank as u64);
+
+    let mut losses = Vec::with_capacity(cfg.steps);
+    let mut wall_times = Vec::with_capacity(cfg.steps);
+    let mut hashes_ok = true;
+    let mut launches = 0usize;
+    let mut wire_bytes = 0u64;
+
+    for _step in 0..cfg.steps {
+        let t0 = Instant::now();
+        let batch = source.next_batch();
+        let input = if batch.input.dtype() == cfg.precision {
+            batch.input
+        } else {
+            batch.input.cast(cfg.precision)
+        };
+
+        let logits = model.forward(&input, &mut ctx);
+        profile::set_phase(profile::Phase::Backward);
+        let out = loss_fn.forward(&logits, &batch.labels, &batch.weights);
+        model.backward(&out.grad_logits);
+        profile::set_phase(profile::Phase::Forward);
+
+        // Agree on an all-reduce order despite per-rank scheduling skew.
+        let mut ready: Vec<u32> = (0..n_tensors as u32).collect();
+        if cfg.shuffle_ready_order {
+            ready.shuffle(&mut shuffle_rng);
+        }
+        let order = coordinator.coordinate(&mut comm, &ready);
+
+        // Fused gradient all-reduces in the agreed order.
+        let buckets = fuse(&order, &sizes, cfg.fusion_threshold_bytes);
+        launches = buckets.len();
+        let inv_n = 1.0 / cfg.ranks as f32;
+        wire_bytes = 0;
+        for bucket in &buckets {
+            let mut flat = Vec::with_capacity(bucket.elements);
+            for &id in &bucket.tensor_ids {
+                params
+                    .iter()
+                    .nth(id as usize)
+                    .expect("tensor id in range")
+                    .with(|_, g| flat.extend_from_slice(g.as_slice()));
+            }
+            if cfg.compress_gradients {
+                // §VIII-B gradient compression: binary16 on the wire. All
+                // ranks quantize the same way, so determinism holds.
+                exaclim_tensor::half::quantize_f16_slice(&mut flat);
+                wire_bytes += flat.len() as u64 * 2;
+            } else {
+                wire_bytes += flat.len() as u64 * 4;
+            }
+            profile::record(
+                KernelKind::Allreduce,
+                "grad_allreduce",
+                flat.len() as u64,
+                flat.len() as u64 * 4,
+                flat.len() as u64 * 4,
+            );
+            comm.hierarchical_allreduce(&mut flat, cfg.node_size, cfg.shard_leaders);
+            let mut off = 0;
+            for &id in &bucket.tensor_ids {
+                let p = params.iter().nth(id as usize).expect("tensor id in range");
+                let n = p.numel();
+                let avg: Vec<f32> = flat[off..off + n].iter().map(|&x| x * inv_n).collect();
+                p.set_grad(Tensor::from_vec(p.grad().shape().clone(), DType::F32, avg));
+                off += n;
+            }
+        }
+
+        optimizer.step(&params);
+
+        // Cross-rank loss mean (a tiny collective, as in real logging).
+        let mut lbuf = vec![out.loss];
+        comm.allreduce_tree(&mut lbuf);
+        losses.push(lbuf[0] / cfg.ranks as f32);
+
+        // Replica-consistency audit: all ranks must agree bit-for-bit.
+        // The hash travels as four 16-bit limbs, each exact in f32.
+        let h = params.state_hash();
+        let mut hbuf: Vec<f32> = (0..4).map(|i| ((h >> (16 * i)) & 0xffff) as f32).collect();
+        let mine = hbuf.clone();
+        comm.broadcast(0, &mut hbuf);
+        if hbuf != mine {
+            hashes_ok = false;
+        }
+        wall_times.push(t0.elapsed().as_secs_f64());
+    }
+
+    RankResult {
+        losses,
+        wall_times,
+        final_hash: param_hash(&params),
+        per_step_hashes_consistent: hashes_ok,
+        allreduce_launches_per_step: launches,
+        wire_bytes_per_step: wire_bytes,
+        model,
+    }
+}
+
+fn param_hash(params: &ParamSet) -> u64 {
+    params.state_hash()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaclim_nn::layers::Conv2d;
+    use exaclim_nn::loss::{class_weights, pixel_weight_map, ClassWeighting};
+    use exaclim_nn::Sequential;
+    use exaclim_tensor::init::randn;
+    use exaclim_tensor::ops::Conv2dParams;
+    use rand::Rng;
+
+    /// A toy per-rank source: random 2-channel fields whose label is 1
+    /// where channel 0 exceeds channel 1 — learnable by a 1×1 conv.
+    struct ToySource {
+        rng: rand::rngs::StdRng,
+    }
+
+    impl BatchSource for ToySource {
+        fn next_batch(&mut self) -> Batch {
+            let (h, w) = (6, 6);
+            let input = randn([1, 2, h, w], DType::F32, 1.0, &mut self.rng);
+            let labels: Vec<u8> = (0..h * w)
+                .map(|i| (input.as_slice()[i] > input.as_slice()[h * w + i]) as u8)
+                .collect();
+            let labels = Labels::new(1, h, w, labels);
+            let freq = labels.class_frequencies(2);
+            let weights = pixel_weight_map(&labels, &class_weights(&freq, ClassWeighting::Uniform));
+            Batch { input, labels, weights }
+        }
+    }
+
+    fn toy_model(rng: &mut rand::rngs::StdRng) -> Box<dyn Layer> {
+        Box::new(
+            Sequential::new("toy")
+                .push(Conv2d::new("c1", 2, 8, 3, Conv2dParams::padded(1), true, rng))
+                .push(exaclim_nn::layers::ReLU::new())
+                .push(Conv2d::new("c2", 8, 2, 1, Conv2dParams::default(), true, rng)),
+        )
+    }
+
+    fn toy_config(ranks: usize, steps: usize) -> TrainerConfig {
+        let mut cfg = TrainerConfig::new(ranks);
+        cfg.steps = steps;
+        cfg.optimizer = OptimizerKind::Sgd { lr: 0.05, momentum: 0.9 };
+        cfg
+    }
+
+    fn toy_source(rank: usize) -> ToySource {
+        ToySource {
+            rng: seeded_rng(900 + rank as u64),
+        }
+    }
+
+    #[test]
+    fn replicas_stay_bitwise_identical() {
+        let (report, _model) = train_data_parallel(&toy_config(4, 5), toy_model, toy_source);
+        assert!(report.consistent, "replicas diverged: {:?}", report.final_hashes);
+        assert!(!report.diverged);
+        assert_eq!(report.steps.len(), 5);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (report, _model) = train_data_parallel(&toy_config(2, 30), toy_model, toy_source);
+        let first = report.steps[0].mean_loss;
+        let last = report.steps.last().unwrap().mean_loss;
+        assert!(last < first * 0.9, "loss should fall: {first} → {last}");
+    }
+
+    #[test]
+    fn data_parallel_matches_equivalent_single_rank_direction() {
+        // 4 ranks with averaged gradients should track a similar loss
+        // trajectory to 1 rank (not identical — different batches — but
+        // both learn).
+        let (multi, _ma) = train_data_parallel(&toy_config(4, 20), toy_model, toy_source);
+        let (single, _mb) = train_data_parallel(&toy_config(1, 20), toy_model, toy_source);
+        assert!(multi.steps.last().unwrap().mean_loss < multi.steps[0].mean_loss);
+        assert!(single.steps.last().unwrap().mean_loss < single.steps[0].mean_loss);
+    }
+
+    #[test]
+    fn gradient_lag_trains_and_stays_consistent() {
+        let mut cfg = toy_config(2, 25);
+        cfg.gradient_lag = true;
+        let (report, _model) = train_data_parallel(&cfg, toy_model, toy_source);
+        assert!(report.consistent);
+        let first = report.steps[1].mean_loss; // step 0 applies no update
+        let last = report.steps.last().unwrap().mean_loss;
+        assert!(last < first, "lagged training learns: {first} → {last}");
+    }
+
+    #[test]
+    fn larc_trains_consistently() {
+        let mut cfg = toy_config(2, 15);
+        cfg.optimizer = OptimizerKind::Larc { lr: 0.1, trust: 0.02 };
+        let (report, _model) = train_data_parallel(&cfg, toy_model, toy_source);
+        assert!(report.consistent);
+        assert!(report.steps.last().unwrap().mean_loss.is_finite());
+    }
+
+    #[test]
+    fn hierarchical_control_reduces_rank0_traffic() {
+        let mut central = toy_config(6, 3);
+        central.control = ControlPlane::Centralized;
+        central.node_size = 3;
+        central.shard_leaders = 2;
+        let (r_central, _m1) = train_data_parallel(&central, toy_model, toy_source);
+
+        let mut hier = central.clone();
+        hier.control = ControlPlane::Hierarchical { radix: 2 };
+        let (r_hier, _m2) = train_data_parallel(&hier, toy_model, toy_source);
+
+        assert!(r_central.consistent && r_hier.consistent);
+        assert!(
+            r_hier.rank0_control_messages < r_central.rank0_control_messages,
+            "hierarchical {} vs centralized {}",
+            r_hier.rank0_control_messages,
+            r_central.rank0_control_messages
+        );
+    }
+
+    #[test]
+    fn fusion_threshold_controls_launch_count() {
+        let mut fused = toy_config(2, 2);
+        fused.fusion_threshold_bytes = usize::MAX / 8;
+        let (r_fused, _m3) = train_data_parallel(&fused, toy_model, toy_source);
+        let mut unfused = toy_config(2, 2);
+        unfused.fusion_threshold_bytes = 4;
+        let (r_unfused, _m4) = train_data_parallel(&unfused, toy_model, toy_source);
+        assert_eq!(r_fused.allreduce_launches_per_step, 1);
+        assert_eq!(r_unfused.allreduce_launches_per_step, 4, "one per tensor");
+    }
+
+    #[test]
+    fn gradient_compression_halves_wire_bytes_and_still_trains() {
+        let mut plain = toy_config(2, 12);
+        let (r_plain, _m) = train_data_parallel(&plain.clone(), toy_model, toy_source);
+        plain.compress_gradients = true;
+        let (r_comp, _m2) = train_data_parallel(&plain, toy_model, toy_source);
+        assert!(r_comp.consistent, "compressed replicas stay identical");
+        assert_eq!(
+            r_comp.wire_bytes_per_step * 2,
+            r_plain.wire_bytes_per_step,
+            "binary16 halves gradient wire traffic"
+        );
+        let first = r_comp.steps[0].mean_loss;
+        let last = r_comp.steps.last().unwrap().mean_loss;
+        assert!(last < first, "compressed-gradient training still learns: {first} → {last}");
+    }
+
+    #[test]
+    fn fp16_training_runs_with_loss_scaling() {
+        let mut cfg = toy_config(2, 8);
+        cfg.precision = DType::F16;
+        cfg.loss_scale = 128.0;
+        let (report, _model) = train_data_parallel(&cfg, toy_model, toy_source);
+        assert!(report.consistent);
+        assert!(!report.diverged, "uniform weights at scale 128 must stay finite");
+    }
+
+    /// Differently-seeded init across ranks must be *caught* by the
+    /// consistency audit (negative test for the replica checker).
+    #[test]
+    fn divergent_initialization_is_detected() {
+        let cfg = toy_config(2, 1);
+        static CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let builder = |rng: &mut rand::rngs::StdRng| -> Box<dyn Layer> {
+            // Sabotage: a different seed on every invocation.
+            let _ = rng.gen::<f32>();
+            let unique = CALLS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let mut m = Sequential::new("bad");
+            let mut local = seeded_rng(unique);
+            m.push_boxed(Box::new(Conv2d::new("c", 2, 2, 1, Conv2dParams::default(), true, &mut local)));
+            Box::new(m)
+        };
+        let (report, _model) = train_data_parallel(&cfg, builder, toy_source);
+        assert!(!report.consistent, "sabotaged init must be flagged");
+    }
+}

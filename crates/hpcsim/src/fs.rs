@@ -1,0 +1,143 @@
+//! Parallel-filesystem and burst-buffer models (§V-A1).
+
+use serde::{Deserialize, Serialize};
+
+/// A shared parallel filesystem under contention.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SharedFilesystem {
+    /// Aggregate read bandwidth across all clients, B/s.
+    pub aggregate_read_bw: f64,
+    /// Single-client ceiling with one reader thread, B/s.
+    pub single_thread_bw: f64,
+    /// Reader-thread scaling exponent: `bw(t) = single_thread_bw · t^γ`.
+    /// Calibrated from the paper's 1.79 → 11.98 GB/s at 1 → 8 threads
+    /// (6.7× ⇒ γ ≈ 0.915).
+    pub thread_scaling: f64,
+    /// Per-client network ceiling regardless of threads, B/s.
+    pub client_cap: f64,
+}
+
+impl SharedFilesystem {
+    /// Summit's GPFS/Spectrum Scale at publication time: "approximate
+    /// maximum speed of 30 GB/s" for the 3 PB early filesystem; the §V-A1
+    /// staging math targets ~2.5 TB/s for the final system — we model the
+    /// early file system the staging experiments actually stressed.
+    pub fn summit_gpfs() -> SharedFilesystem {
+        SharedFilesystem {
+            aggregate_read_bw: 30.0e9,
+            single_thread_bw: 1.79e9,
+            thread_scaling: 0.915,
+            client_cap: 12.0e9,
+        }
+    }
+
+    /// Piz Daint's Lustre: 744 GB/s peak reads on paper, but the paper
+    /// *measured* an effective ~112 GB/s ceiling for this workload's
+    /// small-random-read pattern (Fig 5: "the file system's limit of
+    /// 112 GB/s").
+    pub fn piz_daint_lustre() -> SharedFilesystem {
+        SharedFilesystem {
+            aggregate_read_bw: 112.0e9,
+            single_thread_bw: 1.4e9,
+            thread_scaling: 0.915,
+            client_cap: 5.0e9,
+        }
+    }
+
+    /// Achievable bandwidth for one client using `threads` reader threads,
+    /// ignoring contention from other clients.
+    pub fn client_bw(&self, threads: usize) -> f64 {
+        (self.single_thread_bw * (threads as f64).powf(self.thread_scaling)).min(self.client_cap)
+    }
+
+    /// Delivered per-client bandwidth when `clients` read concurrently,
+    /// each with `threads` threads: fair-shares the aggregate.
+    pub fn contended_bw(&self, clients: usize, threads: usize) -> f64 {
+        if clients == 0 {
+            return 0.0;
+        }
+        let demand = self.client_bw(threads);
+        demand.min(self.aggregate_read_bw / clients as f64)
+    }
+
+    /// Total delivered bandwidth across `clients`.
+    pub fn delivered_aggregate(&self, clients: usize, threads: usize) -> f64 {
+        self.contended_bw(clients, threads) * clients as f64
+    }
+}
+
+/// Node-local fast storage (NVMe burst buffer on Summit, tmpfs on Daint).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BurstBuffer {
+    /// Read bandwidth per node, B/s.
+    pub read_bw: f64,
+    /// Capacity available to jobs per node, bytes.
+    pub capacity: f64,
+}
+
+impl BurstBuffer {
+    /// Summit: 1.6 TB NVMe per node, half available to jobs (§VI-A2),
+    /// ~6 GB/s reads.
+    pub fn summit_nvme() -> BurstBuffer {
+        BurstBuffer { read_bw: 6.0e9, capacity: 800.0e9 }
+    }
+
+    /// Piz Daint: no local SSD; tmpfs in the 64 GB node DRAM (§V-A1),
+    /// very fast but small.
+    pub fn daint_tmpfs() -> BurstBuffer {
+        BurstBuffer { read_bw: 40.0e9, capacity: 32.0e9 }
+    }
+
+    /// Can `bytes` of staged data fit?
+    pub fn fits(&self, bytes: f64) -> bool {
+        bytes <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_scaling_matches_paper_measurement() {
+        // §V-A1: 8 threads instead of 1 → 1.79 GB/s → 11.98 GB/s (6.7×).
+        let fs = SharedFilesystem::summit_gpfs();
+        let one = fs.client_bw(1);
+        let eight = fs.client_bw(8);
+        assert!((one - 1.79e9).abs() < 1e7);
+        assert!((eight / one - 6.7).abs() < 0.15, "speedup {}", eight / one);
+        assert!((eight - 11.98e9).abs() < 0.3e9, "8-thread bw {eight}");
+    }
+
+    #[test]
+    fn contention_divides_aggregate() {
+        let fs = SharedFilesystem::summit_gpfs();
+        // 4500 nodes each wanting ~12 GB/s from a 30 GB/s file system.
+        let per = fs.contended_bw(4500, 8);
+        assert!((per - 30.0e9 / 4500.0).abs() < 1e4);
+        assert!((fs.delivered_aggregate(4500, 8) - 30.0e9).abs() < 1e6);
+        // A single client is not contended.
+        assert!((fs.contended_bw(1, 8) - 11.98e9).abs() < 0.3e9);
+    }
+
+    #[test]
+    fn daint_lustre_saturates_at_112gbs() {
+        // Fig 5: at 2048 single-GPU nodes the job demands ~110 GB/s,
+        // "very close to the file system's limit of 112 GB/s".
+        let fs = SharedFilesystem::piz_daint_lustre();
+        let delivered = fs.delivered_aggregate(2048, 4);
+        assert!(delivered <= 112.0e9 + 1.0);
+        assert!(delivered > 100.0e9, "delivered {delivered}");
+    }
+
+    #[test]
+    fn burst_buffer_capacity_checks() {
+        let bb = BurstBuffer::summit_nvme();
+        // 1500 paper-scale samples/node ≈ 85 GB — fits in 800 GB NVMe.
+        assert!(bb.fits(1500.0 * 56.6e6));
+        let tmpfs = BurstBuffer::daint_tmpfs();
+        // 250 samples/GPU × 1 GPU ≈ 14 GB — fits in Daint's tmpfs too.
+        assert!(tmpfs.fits(250.0 * 56.6e6));
+        assert!(!tmpfs.fits(1500.0 * 56.6e6), "a full node-set would not fit tmpfs");
+    }
+}

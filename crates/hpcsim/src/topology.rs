@@ -1,0 +1,146 @@
+//! Interconnect topologies (§VI-A).
+//!
+//! Piz Daint: "low-latency high-bandwidth Aries interconnect with a
+//! diameter-5 Dragonfly topology". Summit: "dual-rail EDR Infiniband
+//! cards connect all the nodes using a non-blocking fat-tree topology".
+//! These models provide hop counts and bisection properties; the α–β link
+//! models in [`crate::net`] fold their latency contributions into the
+//! collective cost functions.
+
+use serde::{Deserialize, Serialize};
+
+/// A network topology with enough structure for hop/bisection analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Topology {
+    /// k-ary fat tree with `levels` switch levels (non-blocking).
+    FatTree {
+        /// Switch radix (ports per switch).
+        radix: usize,
+        /// Switch levels between any pair of nodes.
+        levels: usize,
+        /// Attached nodes.
+        nodes: usize,
+    },
+    /// Dragonfly of `groups` groups, each with `routers_per_group` routers
+    /// and `nodes_per_router` attached nodes; all-to-all between groups.
+    Dragonfly {
+        /// Number of groups.
+        groups: usize,
+        /// Routers per group.
+        routers_per_group: usize,
+        /// Nodes per router.
+        nodes_per_router: usize,
+    },
+}
+
+impl Topology {
+    /// Summit's non-blocking EDR fat tree (4608 nodes, 3 levels of
+    /// 36-port switches).
+    pub fn summit_fat_tree() -> Topology {
+        Topology::FatTree { radix: 36, levels: 3, nodes: 4608 }
+    }
+
+    /// Piz Daint's Aries dragonfly: the configuration whose network
+    /// diameter is 5 router-to-router hops (§VI-A1).
+    pub fn piz_daint_dragonfly() -> Topology {
+        // XC50 cabinet groups: 96 Aries routers per group, 4 nodes each.
+        Topology::Dragonfly { groups: 14, routers_per_group: 96, nodes_per_router: 4 }
+    }
+
+    /// Total attached nodes.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            Topology::FatTree { nodes, .. } => nodes,
+            Topology::Dragonfly { groups, routers_per_group, nodes_per_router } => {
+                groups * routers_per_group * nodes_per_router
+            }
+        }
+    }
+
+    /// Worst-case switch/router hops between two nodes (network diameter).
+    pub fn diameter(&self) -> usize {
+        match *self {
+            // Up `levels` switches and down again, counting switches.
+            Topology::FatTree { levels, .. } => 2 * levels - 1,
+            // Dragonfly minimal route: local hop, global hop, local hop —
+            // with one intermediate-group detour in the worst (non-minimal)
+            // case: l-g-l-g-l = 5.
+            Topology::Dragonfly { .. } => 5,
+        }
+    }
+
+    /// Expected hops for a uniformly random pair.
+    pub fn mean_hops(&self) -> f64 {
+        match *self {
+            Topology::FatTree { levels, nodes, radix } => {
+                // Probability of sharing a lower subtree shrinks
+                // geometrically; most traffic crosses the top level.
+                let mut total = 0.0;
+                let mut remaining = 1.0;
+                let mut subtree = radix / 2;
+                for l in 1..=levels {
+                    let share = (subtree as f64 / nodes as f64).min(1.0);
+                    let p_here = (share - remaining * 0.0).min(remaining);
+                    total += p_here * (2 * l - 1) as f64;
+                    remaining -= p_here;
+                    subtree *= radix / 2;
+                }
+                total + remaining * (2 * levels - 1) as f64
+            }
+            Topology::Dragonfly { groups, .. } => {
+                // Within-group pairs: ≈2 hops; cross-group: ≈3 (l-g-l).
+                let p_same = 1.0 / groups as f64;
+                p_same * 2.0 + (1.0 - p_same) * 3.0
+            }
+        }
+    }
+
+    /// Per-hop latency contribution to the α term, assuming `hop_ns` per
+    /// switch traversal (≈100 ns for EDR/Aries ASICs).
+    pub fn mean_latency_s(&self, hop_ns: f64) -> f64 {
+        self.mean_hops() * hop_ns * 1e-9
+    }
+
+    /// True when the topology provides full bisection bandwidth
+    /// (non-blocking fat trees do; dragonflies taper).
+    pub fn full_bisection(&self) -> bool {
+        matches!(self, Topology::FatTree { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daint_dragonfly_is_diameter_five() {
+        // §VI-A1: "a diameter-5 Dragonfly topology".
+        let t = Topology::piz_daint_dragonfly();
+        assert_eq!(t.diameter(), 5);
+        assert!(t.nodes() >= 5320, "must cover the XC50 partition: {}", t.nodes());
+        assert!(!t.full_bisection());
+    }
+
+    #[test]
+    fn summit_fat_tree_shape() {
+        let t = Topology::summit_fat_tree();
+        assert_eq!(t.nodes(), 4608);
+        assert_eq!(t.diameter(), 5, "3-level Clos: 5 switch traversals worst case");
+        assert!(t.full_bisection(), "§VI-A2: non-blocking fat tree");
+    }
+
+    #[test]
+    fn mean_hops_bounded_by_diameter() {
+        for t in [Topology::summit_fat_tree(), Topology::piz_daint_dragonfly()] {
+            let mean = t.mean_hops();
+            assert!(mean >= 1.0 && mean <= t.diameter() as f64, "{t:?}: {mean}");
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_hops() {
+        let t = Topology::summit_fat_tree();
+        let lat = t.mean_latency_s(100.0);
+        assert!(lat > 1e-7 && lat < 1e-6, "sub-microsecond switching: {lat}");
+    }
+}

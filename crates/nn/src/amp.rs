@@ -1,0 +1,217 @@
+//! Automatic mixed-precision helpers: dynamic loss scaling.
+//!
+//! The paper uses static loss scaling with hand-tuned class weights
+//! (§V-B1 chose inverse-sqrt weights precisely because the static scale
+//! then fits binary16). Production mixed-precision stacks instead adjust
+//! the scale at run time: grow it while gradients stay finite, back off
+//! and *skip the update* on overflow. This module provides that policy,
+//! which lets even the paper's "unstable" inverse-frequency weighting
+//! limp along — at the cost of skipped steps.
+
+use crate::optim::Optimizer;
+use crate::param::ParamSet;
+
+/// Grow-and-backoff loss-scale controller (the cuDNN/apex policy).
+#[derive(Debug, Clone)]
+pub struct DynamicLossScaler {
+    scale: f32,
+    /// Multiply the scale by this after `growth_interval` clean steps.
+    pub growth_factor: f32,
+    /// Multiply the scale by this on overflow.
+    pub backoff_factor: f32,
+    /// Clean steps required before growing.
+    pub growth_interval: u32,
+    /// Smallest allowed scale.
+    pub min_scale: f32,
+    /// Largest allowed scale.
+    pub max_scale: f32,
+    good_steps: u32,
+    skipped: u64,
+}
+
+impl DynamicLossScaler {
+    /// Standard policy: start at `initial`, double every 200 clean steps,
+    /// halve on overflow.
+    pub fn new(initial: f32) -> DynamicLossScaler {
+        DynamicLossScaler {
+            scale: initial,
+            growth_factor: 2.0,
+            backoff_factor: 0.5,
+            growth_interval: 200,
+            min_scale: 1.0,
+            max_scale: 65536.0,
+            good_steps: 0,
+            skipped: 0,
+        }
+    }
+
+    /// The current loss scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Updates skipped so far.
+    pub fn skipped_steps(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Reports one step's outcome; returns `true` if the update should be
+    /// applied (no overflow).
+    pub fn update(&mut self, overflow: bool) -> bool {
+        if overflow {
+            self.scale = (self.scale * self.backoff_factor).max(self.min_scale);
+            self.good_steps = 0;
+            self.skipped += 1;
+            false
+        } else {
+            self.good_steps += 1;
+            if self.good_steps >= self.growth_interval {
+                self.scale = (self.scale * self.growth_factor).min(self.max_scale);
+                self.good_steps = 0;
+            }
+            true
+        }
+    }
+}
+
+/// True if any parameter gradient contains Inf/NaN.
+pub fn grads_overflowed(params: &ParamSet) -> bool {
+    params.iter().any(|p| p.with(|_, g| g.has_non_finite()))
+}
+
+/// An optimizer wrapper implementing the skip-on-overflow AMP policy.
+///
+/// On each `step`: if gradients overflowed, the update is skipped, the
+/// gradients are cleared, and the scale backs off; otherwise the inner
+/// optimizer runs with its `grad_scale` synchronized to the current loss
+/// scale. Callers must compute their loss with [`AmpOptimizer::scale`].
+pub struct AmpOptimizer<O: Optimizer> {
+    inner: O,
+    scaler: DynamicLossScaler,
+    sync: fn(&mut O, f32),
+}
+
+impl<O: Optimizer> AmpOptimizer<O> {
+    /// Wraps `inner`; `sync_grad_scale` must store the given loss scale
+    /// into the optimizer's gradient-scale divisor.
+    pub fn new(inner: O, initial_scale: f32, sync_grad_scale: fn(&mut O, f32)) -> AmpOptimizer<O> {
+        let mut amp = AmpOptimizer {
+            inner,
+            scaler: DynamicLossScaler::new(initial_scale),
+            sync: sync_grad_scale,
+        };
+        let s = amp.scaler.scale();
+        (amp.sync)(&mut amp.inner, s);
+        amp
+    }
+
+    /// The scale to apply to the next loss computation.
+    pub fn scale(&self) -> f32 {
+        self.scaler.scale()
+    }
+
+    /// Steps skipped because of overflow.
+    pub fn skipped_steps(&self) -> u64 {
+        self.scaler.skipped_steps()
+    }
+
+    /// The wrapped scaler (policy knobs).
+    pub fn scaler_mut(&mut self) -> &mut DynamicLossScaler {
+        &mut self.scaler
+    }
+}
+
+impl<O: Optimizer> Optimizer for AmpOptimizer<O> {
+    fn step(&mut self, params: &ParamSet) {
+        let overflow = grads_overflowed(params);
+        if self.scaler.update(overflow) {
+            self.inner.step(params);
+        } else {
+            params.zero_grads();
+        }
+        let s = self.scaler.scale();
+        (self.sync)(&mut self.inner, s);
+    }
+
+    fn lr(&self) -> f32 {
+        self.inner.lr()
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.inner.set_lr(lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+    use crate::param::Param;
+    use exaclim_tensor::{DType, Tensor};
+
+    #[test]
+    fn scaler_backs_off_on_overflow_and_grows_when_clean() {
+        let mut s = DynamicLossScaler::new(1024.0);
+        s.growth_interval = 3;
+        assert!(!s.update(true), "overflow must skip");
+        assert_eq!(s.scale(), 512.0);
+        for _ in 0..2 {
+            assert!(s.update(false));
+        }
+        assert_eq!(s.scale(), 512.0, "not yet grown");
+        assert!(s.update(false));
+        assert_eq!(s.scale(), 1024.0, "grown after interval");
+        assert_eq!(s.skipped_steps(), 1);
+    }
+
+    #[test]
+    fn scale_respects_bounds() {
+        let mut s = DynamicLossScaler::new(2.0);
+        for _ in 0..10 {
+            s.update(true);
+        }
+        assert_eq!(s.scale(), 1.0, "clamped at min");
+        let mut g = DynamicLossScaler::new(65536.0);
+        g.growth_interval = 1;
+        for _ in 0..5 {
+            g.update(false);
+        }
+        assert_eq!(g.scale(), 65536.0, "clamped at max");
+    }
+
+    #[test]
+    fn amp_skips_overflowed_updates() {
+        let p = Param::new("w", Tensor::from_vec([1], DType::F32, vec![1.0]));
+        let mut set = ParamSet::new();
+        set.push(p.clone());
+        let mut sgd = Sgd::new(0.1);
+        sgd.momentum = 0.0;
+        let mut amp = AmpOptimizer::new(sgd, 4.0, |o, s| o.grad_scale = s);
+
+        // Overflowed gradient: weight must not move, scale halves.
+        p.set_grad(Tensor::from_vec([1], DType::F32, vec![f32::INFINITY]));
+        amp.step(&set);
+        assert_eq!(p.value().as_slice(), &[1.0]);
+        assert_eq!(amp.scale(), 2.0);
+        assert_eq!(amp.skipped_steps(), 1);
+
+        // Clean (scaled) gradient: applied with the current scale divided
+        // back out — effective grad 3.0.
+        p.set_grad(Tensor::from_vec([1], DType::F32, vec![3.0 * amp.scale()]));
+        amp.step(&set);
+        let w = p.value().as_slice()[0];
+        assert!((w - (1.0 - 0.1 * 3.0)).abs() < 1e-6, "w = {w}");
+    }
+
+    #[test]
+    fn overflow_detection_covers_all_params() {
+        let a = Param::new("a", Tensor::zeros([2], DType::F32));
+        let b = Param::new("b", Tensor::zeros([2], DType::F32));
+        let mut set = ParamSet::new();
+        set.push(a.clone());
+        set.push(b.clone());
+        assert!(!grads_overflowed(&set));
+        b.set_grad(Tensor::from_vec([2], DType::F32, vec![0.0, f32::NAN]));
+        assert!(grads_overflowed(&set));
+    }
+}

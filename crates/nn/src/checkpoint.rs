@@ -1,0 +1,205 @@
+//! Parameter checkpointing.
+//!
+//! The paper's two-hour full-machine runs are only practical with reliable
+//! checkpoint/restart; this module provides the equivalent for our
+//! parameter sets: a small self-describing binary format (magic `EXCK`)
+//! with per-tensor names, shapes, precisions and `f32` payloads.
+
+use crate::layer::Layer;
+use crate::param::ParamSet;
+use exaclim_tensor::{DType, Shape, Tensor};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"EXCK";
+const VERSION: u32 = 1;
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Collects a layer's complete persistent state: trainable parameters
+/// plus non-trainable buffers (batch-norm running statistics). Saving
+/// this — rather than `params()` alone — is what makes eval-mode
+/// behaviour restore exactly.
+pub fn full_state(layer: &dyn Layer) -> ParamSet {
+    let mut set = layer.params();
+    set.extend(layer.buffers());
+    set
+}
+
+/// Saves every parameter (name, shape, dtype, values) to `path`.
+pub fn save(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, params.len() as u32)?;
+    for p in params.iter() {
+        let name = p.name();
+        let value = p.value();
+        write_u32(&mut w, name.len() as u32)?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&[match value.dtype() {
+            DType::F32 => 0u8,
+            DType::F16 => 1u8,
+        }])?;
+        let dims = value.shape().dims();
+        write_u32(&mut w, dims.len() as u32)?;
+        for &d in dims {
+            write_u32(&mut w, d as u32)?;
+        }
+        for &v in value.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Loads a checkpoint into an existing parameter set. Every stored tensor
+/// must match a parameter by name and shape (extra/missing parameters are
+/// an error — a model-architecture mismatch).
+pub fn load_into(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an EXCK checkpoint"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported checkpoint version {version}")));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count != params.len() {
+        return Err(bad(format!(
+            "checkpoint holds {count} tensors but the model has {}",
+            params.len()
+        )));
+    }
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes).map_err(|_| bad("invalid tensor name"))?;
+        let mut dt = [0u8; 1];
+        r.read_exact(&mut dt)?;
+        let dtype = match dt[0] {
+            0 => DType::F32,
+            1 => DType::F16,
+            other => return Err(bad(format!("unknown dtype tag {other}"))),
+        };
+        let rank = read_u32(&mut r)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(&mut r)? as usize);
+        }
+        let shape = Shape::new(&dims);
+        let mut data = vec![0.0f32; shape.numel()];
+        for v in data.iter_mut() {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        let p = params
+            .get(&name)
+            .ok_or_else(|| bad(format!("model has no parameter named {name}")))?;
+        if p.value().shape() != &shape {
+            return Err(bad(format!(
+                "shape mismatch for {name}: checkpoint {shape} vs model {}",
+                p.value().shape()
+            )));
+        }
+        p.set_value(Tensor::from_vec(shape, dtype, data));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use exaclim_tensor::init::{randn, seeded_rng};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("exaclim_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("mkdir");
+        d.join(name)
+    }
+
+    fn sample_params(seed: u64) -> ParamSet {
+        let mut rng = seeded_rng(seed);
+        let mut set = ParamSet::new();
+        set.push(Param::new("conv.weight", randn([4, 2, 3, 3], DType::F32, 1.0, &mut rng)));
+        set.push(Param::new("bn.gamma", randn([4], DType::F32, 1.0, &mut rng)));
+        set
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_bits() {
+        let path = tmp("roundtrip.exck");
+        let a = sample_params(1);
+        save(&a, &path).expect("save");
+        let b = sample_params(2); // different values, same structure
+        assert_ne!(a.state_hash(), b.state_hash());
+        load_into(&b, &path).expect("load");
+        assert_eq!(a.state_hash(), b.state_hash(), "bitwise restore");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn architecture_mismatch_is_rejected() {
+        let path = tmp("mismatch.exck");
+        save(&sample_params(1), &path).expect("save");
+        let mut different = ParamSet::new();
+        different.push(Param::new("other", Tensor::zeros([3], DType::F32)));
+        assert!(load_into(&different, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let path = tmp("shape.exck");
+        save(&sample_params(1), &path).expect("save");
+        let mut wrong = ParamSet::new();
+        let mut rng = seeded_rng(3);
+        wrong.push(Param::new("conv.weight", randn([4, 2, 5, 5], DType::F32, 1.0, &mut rng)));
+        wrong.push(Param::new("bn.gamma", randn([4], DType::F32, 1.0, &mut rng)));
+        assert!(load_into(&wrong, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_file_is_rejected() {
+        let path = tmp("garbage.exck");
+        std::fs::write(&path, b"not a checkpoint at all").expect("write");
+        assert!(load_into(&sample_params(1), &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fp16_params_roundtrip() {
+        let path = tmp("fp16.exck");
+        let mut rng = seeded_rng(9);
+        let mut a = ParamSet::new();
+        a.push(Param::new("h", randn([8], DType::F16, 1.0, &mut rng)));
+        save(&a, &path).expect("save");
+        let mut b = ParamSet::new();
+        b.push(Param::new("h", Tensor::zeros([8], DType::F16)));
+        load_into(&b, &path).expect("load");
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(b.get("h").expect("param").value().dtype(), DType::F16);
+        std::fs::remove_file(&path).ok();
+    }
+}

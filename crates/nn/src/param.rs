@@ -1,0 +1,251 @@
+//! Trainable parameters.
+//!
+//! A [`Param`] is a shared handle to a named value/gradient pair. Shared
+//! handles let the layer that *uses* a parameter, the optimizer that
+//! *updates* it, and the distributed runtime that *all-reduces* its
+//! gradient refer to the same storage — the same triangle TensorFlow,
+//! the optimizer, and Horovod form in the paper's stack.
+//!
+//! Values are kept in `f32` master precision regardless of compute
+//! precision, matching the paper's mixed-precision training recipe.
+
+use exaclim_tensor::{DType, Tensor};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A shared, named, trainable tensor with its gradient accumulator.
+#[derive(Clone)]
+pub struct Param(Arc<RwLock<ParamInner>>);
+
+impl Param {
+    /// Creates a parameter from an initial value; the gradient starts at
+    /// zero with the same shape (in `f32`).
+    pub fn new(name: impl Into<String>, value: Tensor) -> Param {
+        let grad = Tensor::zeros(value.shape().clone(), DType::F32);
+        Param(Arc::new(RwLock::new(ParamInner {
+            name: name.into(),
+            value,
+            grad,
+        })))
+    }
+
+    /// The parameter's unique name (used to order all-reduce operations).
+    pub fn name(&self) -> String {
+        self.0.read().name.clone()
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.0.read().value.numel()
+    }
+
+    /// Clones the current value.
+    pub fn value(&self) -> Tensor {
+        self.0.read().value.clone()
+    }
+
+    /// Clones the current gradient.
+    pub fn grad(&self) -> Tensor {
+        self.0.read().grad.clone()
+    }
+
+    /// Replaces the value.
+    pub fn set_value(&self, v: Tensor) {
+        let mut g = self.0.write();
+        assert_eq!(g.value.shape(), v.shape(), "param {} shape change", g.name);
+        g.value = v;
+    }
+
+    /// Replaces the gradient.
+    pub fn set_grad(&self, g: Tensor) {
+        let mut inner = self.0.write();
+        assert_eq!(inner.grad.shape(), g.shape(), "param {} grad shape change", inner.name);
+        inner.grad = g;
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        self.0.write().grad.add_assign(g);
+    }
+
+    /// Zeroes the gradient accumulator.
+    pub fn zero_grad(&self) {
+        self.0.write().grad.fill_zero();
+    }
+
+    /// Runs `f` with read access to `(value, grad)`.
+    pub fn with<T>(&self, f: impl FnOnce(&Tensor, &Tensor) -> T) -> T {
+        let g = self.0.read();
+        f(&g.value, &g.grad)
+    }
+
+    /// Runs `f` with mutable access to `(value, grad)`.
+    pub fn with_mut<T>(&self, f: impl FnOnce(&mut Tensor, &mut Tensor) -> T) -> T {
+        let mut g = self.0.write();
+        let inner = &mut *g;
+        f(&mut inner.value, &mut inner.grad)
+    }
+
+    /// Applies `update` elementwise: `value[i] += f(grad[i])`-style closures
+    /// receive `(value, grad)` slices of equal length.
+    pub fn apply_update(&self, f: impl FnOnce(&mut [f32], &[f32])) {
+        let mut g = self.0.write();
+        let inner = &mut *g;
+        // Split the borrow: value mutably, grad immutably.
+        let grad_copy: &Tensor = &inner.grad;
+        let gslice: Vec<f32> = grad_copy.as_slice().to_vec();
+        f(inner.value.as_mut_slice(), &gslice);
+        inner.value.requantize();
+    }
+
+    /// Bitwise hash of the value (replica-consistency checks).
+    pub fn value_hash(&self) -> u64 {
+        self.0.read().value.bit_hash()
+    }
+}
+
+impl std::fmt::Debug for Param {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.0.read();
+        write!(f, "Param({}, {})", g.name, g.value.shape())
+    }
+}
+
+/// An ordered collection of parameters — the unit optimizers and the
+/// distributed runtime operate on.
+#[derive(Clone, Default)]
+pub struct ParamSet {
+    params: Vec<Param>,
+}
+
+impl ParamSet {
+    /// Empty set.
+    pub fn new() -> ParamSet {
+        ParamSet::default()
+    }
+
+    /// Builds from a vector of parameters.
+    pub fn from_vec(params: Vec<Param>) -> ParamSet {
+        ParamSet { params }
+    }
+
+    /// Appends a parameter.
+    pub fn push(&mut self, p: Param) {
+        self.params.push(p);
+    }
+
+    /// Appends all parameters of another set.
+    pub fn extend(&mut self, other: ParamSet) {
+        self.params.extend(other.params);
+    }
+
+    /// Iterates over the parameters in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Param> {
+        self.params.iter()
+    }
+
+    /// Number of parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn total_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.numel()).sum()
+    }
+
+    /// Looks a parameter up by name.
+    pub fn get(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name() == name)
+    }
+
+    /// Zeroes every gradient.
+    pub fn zero_grads(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Combined bitwise hash of all values (replica-consistency checks).
+    pub fn state_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for p in &self.params {
+            h ^= p.value_hash();
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl std::fmt::Debug for ParamSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ParamSet({} tensors, {} scalars)",
+            self.len(),
+            self.total_scalars()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_handle_sees_updates() {
+        let p = Param::new("w", Tensor::from_vec([2], DType::F32, vec![1.0, 2.0]));
+        let q = p.clone();
+        p.apply_update(|v, _| v[0] = 10.0);
+        assert_eq!(q.value().as_slice(), &[10.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_and_zeroes() {
+        let p = Param::new("w", Tensor::zeros([3], DType::F32));
+        p.accumulate_grad(&Tensor::from_vec([3], DType::F32, vec![1.0, 2.0, 3.0]));
+        p.accumulate_grad(&Tensor::from_vec([3], DType::F32, vec![1.0, 1.0, 1.0]));
+        assert_eq!(p.grad().as_slice(), &[2.0, 3.0, 4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn paramset_lookup_and_totals() {
+        let mut set = ParamSet::new();
+        set.push(Param::new("a", Tensor::zeros([4], DType::F32)));
+        set.push(Param::new("b", Tensor::zeros([2, 3], DType::F32)));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.total_scalars(), 10);
+        assert!(set.get("b").is_some());
+        assert!(set.get("missing").is_none());
+    }
+
+    #[test]
+    fn state_hash_tracks_any_param() {
+        let mut set = ParamSet::new();
+        set.push(Param::new("a", Tensor::zeros([4], DType::F32)));
+        set.push(Param::new("b", Tensor::zeros([4], DType::F32)));
+        let h0 = set.state_hash();
+        set.get("b").unwrap().apply_update(|v, _| v[3] = 1.0);
+        assert_ne!(h0, set.state_hash());
+    }
+
+    #[test]
+    fn fp16_param_requantizes_after_update() {
+        let p = Param::new("h", Tensor::zeros([1], DType::F16));
+        p.apply_update(|v, _| v[0] = 2049.0);
+        assert_eq!(p.value().as_slice(), &[2048.0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for loss, metrics and optimizer invariants.
+
+use exaclim_nn::loss::{class_weights, ClassWeighting, Labels, WeightedCrossEntropy};
+use exaclim_nn::metrics::ConfusionMatrix;
+use exaclim_nn::optim::{Optimizer, Sgd};
+use exaclim_nn::{Param, ParamSet};
+use exaclim_tensor::{DType, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The weighted CE loss is non-negative and scales linearly in the
+    /// weight map.
+    #[test]
+    fn loss_is_nonnegative_and_weight_linear(seed in 0u64..500, scale in 0.5f32..4.0) {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let logits = exaclim_tensor::init::randn([1, 3, 3, 4], DType::F32, 2.0, &mut rng);
+        let labels = Labels::new(1, 3, 4, (0..12).map(|i| (i % 3) as u8).collect());
+        let w1 = vec![1.0f32; 12];
+        let ws: Vec<f32> = w1.iter().map(|&x| x * scale).collect();
+        let ce = WeightedCrossEntropy::default();
+        let a = ce.forward(&logits, &labels, &w1);
+        let b = ce.forward(&logits, &labels, &ws);
+        prop_assert!(a.loss >= 0.0);
+        prop_assert!((b.loss - a.loss * scale).abs() < 1e-3 * (1.0 + a.loss * scale));
+    }
+
+    /// Gradient w.r.t. logits sums to ~0 over channels per pixel
+    /// (softmax − one-hot is zero-mean under the simplex constraint only
+    /// when weighted identically per pixel — which it is, per pixel).
+    #[test]
+    fn grad_sums_to_zero_over_channels(seed in 0u64..500) {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let logits = exaclim_tensor::init::randn([1, 3, 2, 2], DType::F32, 1.5, &mut rng);
+        let labels = Labels::new(1, 2, 2, vec![0, 1, 2, 1]);
+        let w = vec![2.0f32, 3.0, 0.5, 1.0];
+        let out = WeightedCrossEntropy::default().forward(&logits, &labels, &w);
+        let g = out.grad_logits.as_slice();
+        for p in 0..4 {
+            let s: f32 = (0..3).map(|c| g[c * 4 + p]).sum();
+            prop_assert!(s.abs() < 1e-5, "pixel {p}: channel-sum {s}");
+        }
+    }
+
+    /// Inverse-sqrt weights are the geometric mean of uniform and inverse
+    /// weights (in log space) — the moderation property §V-B1 relies on.
+    #[test]
+    fn sqrt_weights_are_between_uniform_and_inverse(f0 in 0.4f32..0.99, f1 in 0.001f32..0.3) {
+        prop_assume!(f0 + f1 < 1.0);
+        let freqs = [f0, f1, 1.0 - f0 - f1];
+        let uni = class_weights(&freqs, ClassWeighting::Uniform);
+        let inv = class_weights(&freqs, ClassWeighting::InverseFrequency);
+        let sq = class_weights(&freqs, ClassWeighting::InverseSqrtFrequency);
+        for c in 0..3 {
+            let lo = uni[c].min(inv[c]) - 1e-6;
+            let hi = uni[c].max(inv[c]) + 1e-6;
+            prop_assert!(sq[c] >= lo && sq[c] <= hi, "class {c}: {} not in [{lo}, {hi}]", sq[c]);
+            prop_assert!((sq[c] * sq[c] - inv[c]).abs() < 1e-2 * inv[c], "sqrt consistency");
+        }
+    }
+
+    /// IoU is symmetric under swapping prediction and truth.
+    #[test]
+    fn iou_is_symmetric(seed in 0u64..500) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 3) as u8
+        };
+        let a: Vec<u8> = (0..36).map(|_| next()).collect();
+        let b: Vec<u8> = (0..36).map(|_| next()).collect();
+        let la = Labels::new(1, 6, 6, a);
+        let lb = Labels::new(1, 6, 6, b);
+        let mut cm_ab = ConfusionMatrix::new(3);
+        cm_ab.update(&la, &lb);
+        let mut cm_ba = ConfusionMatrix::new(3);
+        cm_ba.update(&lb, &la);
+        for c in 0..3 {
+            prop_assert_eq!(cm_ab.class_iou(c), cm_ba.class_iou(c));
+        }
+        prop_assert_eq!(cm_ab.accuracy(), cm_ba.accuracy());
+    }
+
+    /// One plain-SGD step moves weights exactly lr·grad (no momentum),
+    /// for any grad scale (the FP16 compensation must cancel exactly).
+    #[test]
+    fn sgd_step_is_exact(w0 in -5.0f32..5.0, g in -5.0f32..5.0, gs in prop::sample::select(vec![1.0f32, 2.0, 128.0, 1024.0])) {
+        let p = Param::new("w", Tensor::from_vec([1], DType::F32, vec![w0]));
+        let mut set = ParamSet::new();
+        set.push(p.clone());
+        let mut opt = Sgd::new(0.1);
+        opt.momentum = 0.0;
+        opt.grad_scale = gs;
+        p.set_grad(Tensor::from_vec([1], DType::F32, vec![g * gs]));
+        opt.step(&set);
+        let got = p.value().as_slice()[0];
+        let want = w0 - 0.1 * g;
+        prop_assert!((got - want).abs() < 2e-5 * (1.0 + want.abs()), "{got} vs {want}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Physically-valid data augmentation for global climate fields.
+//!
+//! §VIII-B anticipates "processing at the storage layer ... to aid in data
+//! processing and augmentation". For a lat/lon globe two augmentations are
+//! exactly label-preserving:
+//!
+//! * **longitude roll** — the domain is periodic in longitude, so any
+//!   cyclic shift is another valid snapshot;
+//! * **latitude mirror** — flipping hemispheres is valid *if* the
+//!   meridional wind components (V850, VBOT) flip sign, because cyclone
+//!   rotation reverses across the equator.
+//!
+//! Both transform fields and label masks congruently, so segmentation
+//! training sees more variety from the same staged shard.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Channels whose sign flips under a latitude mirror (meridional winds).
+pub const MERIDIONAL_CHANNELS: [&str; 2] = ["V850", "VBOT"];
+
+/// An augmentation decision, sampled once per sample so fields and labels
+/// stay congruent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Augmentation {
+    /// Cyclic longitude shift in pixels.
+    pub roll: usize,
+    /// Mirror the latitude axis.
+    pub flip_lat: bool,
+}
+
+impl Augmentation {
+    /// No-op augmentation.
+    pub fn identity() -> Augmentation {
+        Augmentation { roll: 0, flip_lat: false }
+    }
+
+    /// Samples a random augmentation for a `w`-wide grid.
+    pub fn sample(w: usize, rng: &mut StdRng) -> Augmentation {
+        Augmentation {
+            roll: rng.gen_range(0..w),
+            flip_lat: rng.gen_bool(0.5),
+        }
+    }
+
+    /// Applies to one scalar field (row-major `h×w`), flipping sign when
+    /// `flip_sign` (meridional winds under a latitude mirror).
+    pub fn apply_field(&self, field: &[f32], h: usize, w: usize, flip_sign: bool) -> Vec<f32> {
+        assert_eq!(field.len(), h * w);
+        let mut out = vec![0.0f32; h * w];
+        let sign = if self.flip_lat && flip_sign { -1.0 } else { 1.0 };
+        for y in 0..h {
+            let src_y = if self.flip_lat { h - 1 - y } else { y };
+            for x in 0..w {
+                let src_x = (x + w - self.roll % w) % w;
+                out[y * w + x] = sign * field[src_y * w + src_x];
+            }
+        }
+        out
+    }
+
+    /// Applies to a label mask congruently.
+    pub fn apply_mask(&self, mask: &[u8], h: usize, w: usize) -> Vec<u8> {
+        assert_eq!(mask.len(), h * w);
+        let mut out = vec![0u8; h * w];
+        for y in 0..h {
+            let src_y = if self.flip_lat { h - 1 - y } else { y };
+            for x in 0..w {
+                let src_x = (x + w - self.roll % w) % w;
+                out[y * w + x] = mask[src_y * w + src_x];
+            }
+        }
+        out
+    }
+
+    /// Applies to a full channel-major sample (`channels × h × w`), given
+    /// which channel indices are meridional winds.
+    pub fn apply_sample(
+        &self,
+        fields: &[f32],
+        channels: usize,
+        h: usize,
+        w: usize,
+        meridional: &[usize],
+    ) -> Vec<f32> {
+        assert_eq!(fields.len(), channels * h * w);
+        let mut out = Vec::with_capacity(fields.len());
+        for c in 0..channels {
+            let flip_sign = meridional.contains(&c);
+            out.extend(self.apply_field(&fields[c * h * w..(c + 1) * h * w], h, w, flip_sign));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_identity() {
+        let f: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let a = Augmentation::identity();
+        assert_eq!(a.apply_field(&f, 3, 4, true), f);
+        let m: Vec<u8> = (0..12).map(|i| (i % 3) as u8).collect();
+        assert_eq!(a.apply_mask(&m, 3, 4), m);
+    }
+
+    #[test]
+    fn roll_is_cyclic_and_invertible() {
+        let f: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let a = Augmentation { roll: 1, flip_lat: false };
+        let rolled = a.apply_field(&f, 3, 4, false);
+        // Row 0: [0,1,2,3] rolled right by 1 → [3,0,1,2].
+        assert_eq!(&rolled[0..4], &[3.0, 0.0, 1.0, 2.0]);
+        // Rolling by w-1 more returns the original.
+        let b = Augmentation { roll: 3, flip_lat: false };
+        assert_eq!(b.apply_field(&rolled, 3, 4, false), f);
+    }
+
+    #[test]
+    fn lat_flip_mirrors_rows_and_flips_meridional_sign() {
+        let f: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 3 rows × 2
+        let a = Augmentation { roll: 0, flip_lat: true };
+        assert_eq!(a.apply_field(&f, 3, 2, false), vec![5.0, 6.0, 3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(a.apply_field(&f, 3, 2, true), vec![-5.0, -6.0, -3.0, -4.0, -1.0, -2.0]);
+    }
+
+    #[test]
+    fn mask_and_fields_stay_congruent() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (h, w) = (6, 8);
+        // Field equals mask value, so congruence is directly checkable.
+        let mask: Vec<u8> = (0..h * w).map(|i| ((i * 7) % 3) as u8).collect();
+        let field: Vec<f32> = mask.iter().map(|&m| m as f32).collect();
+        for _ in 0..8 {
+            let a = Augmentation::sample(w, &mut rng);
+            let fm = a.apply_field(&field, h, w, false);
+            let mm = a.apply_mask(&mask, h, w);
+            for (x, m) in fm.iter().zip(mm.iter()) {
+                assert_eq!(*x, *m as f32, "{a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_applies_per_channel_signs() {
+        let (c, h, w) = (3, 2, 2);
+        let fields: Vec<f32> = (0..c * h * w).map(|i| i as f32 + 1.0).collect();
+        let a = Augmentation { roll: 0, flip_lat: true };
+        let out = a.apply_sample(&fields, c, h, w, &[1]); // channel 1 is meridional
+        // Channel 0 mirrored, positive.
+        assert_eq!(&out[0..4], &[3.0, 4.0, 1.0, 2.0]);
+        // Channel 1 mirrored, negated.
+        assert_eq!(&out[4..8], &[-7.0, -8.0, -5.0, -6.0]);
+        // Channel 2 mirrored, positive.
+        assert_eq!(&out[8..12], &[11.0, 12.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn class_frequencies_are_preserved() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (h, w) = (10, 12);
+        let mask: Vec<u8> = (0..h * w).map(|i| ((i * 13) % 3) as u8).collect();
+        let count = |m: &[u8]| {
+            let mut c = [0usize; 3];
+            for &v in m {
+                c[v as usize] += 1;
+            }
+            c
+        };
+        let before = count(&mask);
+        for _ in 0..5 {
+            let a = Augmentation::sample(w, &mut rng);
+            assert_eq!(count(&a.apply_mask(&mask, h, w)), before, "{a:?}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # exaclim-pipeline
+//!
+//! The optimized input pipeline of §V-A2.
+//!
+//! TensorFlow's default placement puts input processing on the training
+//! critical path; the paper's fixes — reproduced here — are:
+//!
+//! * a **prefetch queue** deep enough to absorb input-rate variability
+//!   ([`prefetch::PrefetchQueue`]),
+//! * **parallel worker processes** instead of threads, because the HDF5
+//!   library serializes all reads behind one global lock. The
+//!   [`prefetch::ReaderMode`] knob reproduces both worlds: `SharedLocked`
+//!   (one mutex around a shared reader — the HDF5 pathology) and
+//!   `PerWorker` (each worker owns an independent reader, the
+//!   `multiprocessing` fix).
+//!
+//! [`decode`] turns stored samples into normalized training tensors with
+//! the per-pixel loss-weight map computed CPU-side (§V-B1), [`sampler`]
+//! provides the per-rank shard shuffling that makes local batches
+//! statistically global (§V-A1), and [`augment`] adds the two
+//! label-preserving global-field augmentations (longitude roll, latitude
+//! mirror with meridional-wind sign flips).
+
+pub mod augment;
+pub mod decode;
+pub mod prefetch;
+pub mod sampler;
+
+pub use augment::Augmentation;
+pub use decode::{ChannelStats, DecodedSample};
+pub use prefetch::{PipelineStats, PrefetchQueue, ReaderMode};
+pub use sampler::ShardSampler;

@@ -1,0 +1,318 @@
+//! The prefetch queue with background reader workers (§V-A2).
+//!
+//! The paper's two input-pipeline fixes are both modelled faithfully:
+//!
+//! * **Prefetching**: a bounded queue decouples input production from
+//!   training consumption; as long as it stays non-empty the "GPU" never
+//!   waits.
+//! * **Worker parallelism vs the HDF5 global lock**: with
+//!   [`ReaderMode::SharedLocked`], all workers contend on one reader mutex
+//!   (TensorFlow threads + libhdf5); with [`ReaderMode::PerWorker`], each
+//!   worker owns an independent reader (the Python `multiprocessing`
+//!   workaround), so reads genuinely overlap.
+
+use crate::decode::{decode, ChannelStats, DecodedSample};
+use crate::sampler::ShardSampler;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
+use exaclim_climsim::ClimateDataset;
+use exaclim_tensor::DType;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Reader-concurrency mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReaderMode {
+    /// One shared reader behind a global lock (the HDF5 pathology).
+    SharedLocked,
+    /// One independent reader per worker (the multiprocessing fix).
+    PerWorker,
+}
+
+/// Prefetch-pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PrefetchConfig {
+    /// Background workers.
+    pub workers: usize,
+    /// Queue depth (prefetched samples).
+    pub depth: usize,
+    /// Reader concurrency mode.
+    pub mode: ReaderMode,
+    /// Artificial per-read cost, standing in for HDF5 decode time of a
+    /// 56.6 MB paper-scale sample (tiny test grids read in microseconds).
+    pub read_cost: Duration,
+    /// Channels to keep (e.g. all 16, or the 4-channel Daint subset).
+    pub channels: Vec<usize>,
+    /// Per-class loss weights.
+    pub class_weights: Vec<f32>,
+    /// Output precision.
+    pub dtype: DType,
+}
+
+/// Live pipeline counters.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    produced: AtomicU64,
+    consumed: AtomicU64,
+    consumer_wait_ns: AtomicU64,
+    read_ns: AtomicU64,
+}
+
+impl PipelineStats {
+    /// Samples produced by workers.
+    pub fn produced(&self) -> u64 {
+        self.produced.load(Ordering::Relaxed)
+    }
+
+    /// Samples taken by the consumer.
+    pub fn consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Relaxed)
+    }
+
+    /// Total time the consumer spent blocked on an empty queue.
+    pub fn consumer_wait(&self) -> Duration {
+        Duration::from_nanos(self.consumer_wait_ns.load(Ordering::Relaxed))
+    }
+
+    /// Total wall time spent inside (possibly locked) reads.
+    pub fn read_time(&self) -> Duration {
+        Duration::from_nanos(self.read_ns.load(Ordering::Relaxed))
+    }
+}
+
+/// A background-filled sample queue.
+pub struct PrefetchQueue {
+    rx: Receiver<DecodedSample>,
+    stats: Arc<PipelineStats>,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PrefetchQueue {
+    /// Starts `config.workers` background readers over `sampler`.
+    pub fn start(
+        dataset: Arc<ClimateDataset>,
+        sampler: ShardSampler,
+        stats_src: ChannelStats,
+        config: PrefetchConfig,
+    ) -> PrefetchQueue {
+        assert!(config.workers >= 1, "need at least one worker");
+        let (tx, rx) = bounded(config.depth.max(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(PipelineStats::default());
+        let sampler = Arc::new(Mutex::new(sampler));
+        let shared_reader_lock = Arc::new(Mutex::new(()));
+        let stats_src = Arc::new(stats_src);
+
+        let workers = (0..config.workers)
+            .map(|_| {
+                let dataset = dataset.clone();
+                let sampler = sampler.clone();
+                let tx = tx.clone();
+                let stop = stop.clone();
+                let stats = stats.clone();
+                let cfg = config.clone();
+                let lock = shared_reader_lock.clone();
+                let norm = stats_src.clone();
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let idx = sampler.lock().next_index();
+                        let t0 = Instant::now();
+                        let stored = match cfg.mode {
+                            ReaderMode::SharedLocked => {
+                                // The HDF5 global lock: reads serialize.
+                                let _g = lock.lock();
+                                if !cfg.read_cost.is_zero() {
+                                    std::thread::sleep(cfg.read_cost);
+                                }
+                                dataset.sample(idx)
+                            }
+                            ReaderMode::PerWorker => {
+                                if !cfg.read_cost.is_zero() {
+                                    std::thread::sleep(cfg.read_cost);
+                                }
+                                dataset.sample(idx)
+                            }
+                        }
+                        .expect("dataset read");
+                        stats.read_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let decoded = decode(
+                            &stored,
+                            &cfg.channels,
+                            dataset.channels,
+                            dataset.h,
+                            dataset.w,
+                            &norm,
+                            &cfg.class_weights,
+                            cfg.dtype,
+                        );
+                        // Blocking send with stop polling.
+                        let mut item = decoded;
+                        loop {
+                            match tx.send_timeout(item, Duration::from_millis(20)) {
+                                Ok(()) => {
+                                    stats.produced.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(crossbeam::channel::SendTimeoutError::Timeout(back)) => {
+                                    if stop.load(Ordering::Relaxed) {
+                                        return;
+                                    }
+                                    item = back;
+                                }
+                                Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => return,
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        PrefetchQueue {
+            rx,
+            stats,
+            stop,
+            workers,
+        }
+    }
+
+    /// Takes the next prefetched sample (blocks if the queue is empty,
+    /// accumulating consumer-wait time — the "GPU idle" signal).
+    pub fn next(&self) -> DecodedSample {
+        let t0 = Instant::now();
+        loop {
+            match self.rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(s) => {
+                    self.stats
+                        .consumer_wait_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    self.stats.consumed.fetch_add(1, Ordering::Relaxed);
+                    return s;
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => panic!("all pipeline workers exited"),
+            }
+        }
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> Arc<PipelineStats> {
+        self.stats.clone()
+    }
+}
+
+impl Drop for PrefetchQueue {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Drain so writers blocked on a full queue can observe `stop`.
+        while self.rx.try_recv().is_ok() {}
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaclim_climsim::dataset::DatasetConfig;
+
+    fn tiny_dataset() -> Arc<ClimateDataset> {
+        let mut cfg = DatasetConfig::small(40, 6);
+        cfg.generator.h = 12;
+        cfg.generator.w = 18;
+        Arc::new(ClimateDataset::in_memory(&cfg))
+    }
+
+    fn config(mode: ReaderMode, workers: usize) -> PrefetchConfig {
+        PrefetchConfig {
+            workers,
+            depth: 4,
+            mode,
+            read_cost: Duration::ZERO,
+            channels: (0..16).collect(),
+            class_weights: vec![1.0, 10.0, 5.0],
+            dtype: DType::F32,
+        }
+    }
+
+    #[test]
+    fn queue_produces_decoded_samples() {
+        let ds = tiny_dataset();
+        let stats = ChannelStats::estimate(&ds, 2).expect("stats");
+        let sampler = ShardSampler::for_rank(ds.len(), 0, 4, 1);
+        let q = PrefetchQueue::start(ds.clone(), sampler, stats, config(ReaderMode::PerWorker, 2));
+        for _ in 0..10 {
+            let s = q.next();
+            assert_eq!(s.input.shape().dims(), &[1, 16, 12, 18]);
+            assert_eq!(s.labels.len(), 12 * 18);
+        }
+        assert!(q.stats().consumed() == 10);
+    }
+
+    #[test]
+    fn both_modes_deliver_valid_data() {
+        let ds = tiny_dataset();
+        for mode in [ReaderMode::SharedLocked, ReaderMode::PerWorker] {
+            let stats = ChannelStats::estimate(&ds, 2).expect("stats");
+            let sampler = ShardSampler::for_rank(ds.len(), 0, 6, 2);
+            let q = PrefetchQueue::start(ds.clone(), sampler, stats, config(mode, 3));
+            for _ in 0..6 {
+                let s = q.next();
+                assert!(!s.input.has_non_finite(), "{mode:?} produced garbage");
+            }
+        }
+    }
+
+    #[test]
+    fn per_worker_mode_beats_global_lock_under_read_cost() {
+        // With a 3 ms read wait and 4 workers, serialized reads cap
+        // production at ~333/s while independent readers overlap their
+        // waits (I/O waits overlap even on one core, like real HDF5 reads).
+        let ds = tiny_dataset();
+        let n = 24;
+        let mut elapsed = Vec::new();
+        for mode in [ReaderMode::SharedLocked, ReaderMode::PerWorker] {
+            let stats = ChannelStats::estimate(&ds, 1).expect("stats");
+            let sampler = ShardSampler::for_rank(ds.len(), 0, 6, 3);
+            let mut cfg = config(mode, 4);
+            cfg.read_cost = Duration::from_millis(3);
+            let q = PrefetchQueue::start(ds.clone(), sampler, stats, cfg);
+            let t0 = Instant::now();
+            for _ in 0..n {
+                let _ = q.next();
+            }
+            elapsed.push(t0.elapsed().as_secs_f64());
+        }
+        assert!(
+            elapsed[1] * 1.5 < elapsed[0],
+            "per-worker {}s should clearly beat shared-locked {}s",
+            elapsed[1],
+            elapsed[0]
+        );
+    }
+
+    #[test]
+    fn channel_subset_mode() {
+        let ds = tiny_dataset();
+        let stats = ChannelStats::estimate(&ds, 2).expect("stats");
+        let sampler = ShardSampler::for_rank(ds.len(), 0, 4, 4);
+        let mut cfg = config(ReaderMode::PerWorker, 1);
+        cfg.channels = vec![0, 1, 2, 7]; // TMQ, U850, V850, PSL
+        let q = PrefetchQueue::start(ds.clone(), sampler, stats, cfg);
+        let s = q.next();
+        assert_eq!(s.input.shape().dims(), &[1, 4, 12, 18]);
+    }
+
+    #[test]
+    fn drop_shuts_workers_down() {
+        let ds = tiny_dataset();
+        let stats = ChannelStats::estimate(&ds, 1).expect("stats");
+        let sampler = ShardSampler::for_rank(ds.len(), 0, 4, 5);
+        let q = PrefetchQueue::start(ds.clone(), sampler, stats, config(ReaderMode::PerWorker, 2));
+        let _ = q.next();
+        drop(q); // must not hang
+    }
+}

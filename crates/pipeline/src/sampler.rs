@@ -1,0 +1,116 @@
+//! Per-rank shard sampling.
+//!
+//! §V-A1: each rank draws from a node-local shard ("250 images per GPU
+//! ... are sufficient to maintain convergence"); independent shards make
+//! the union of local batches statistically similar to a global draw.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An infinite, epoch-shuffled iterator over a shard of sample indices.
+#[derive(Debug, Clone)]
+pub struct ShardSampler {
+    shard: Vec<usize>,
+    order: Vec<usize>,
+    cursor: usize,
+    epoch: u64,
+    rng: StdRng,
+}
+
+impl ShardSampler {
+    /// Samples from an explicit shard.
+    pub fn new(shard: Vec<usize>, seed: u64) -> ShardSampler {
+        assert!(!shard.is_empty(), "shard must be non-empty");
+        let mut s = ShardSampler {
+            order: shard.clone(),
+            shard,
+            cursor: 0,
+            epoch: 0,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        s.reshuffle();
+        s
+    }
+
+    /// Builds the rank's shard the way staging does: `samples_per_rank`
+    /// distinct pseudo-random picks from the dataset.
+    pub fn for_rank(dataset_len: usize, rank: usize, samples_per_rank: usize, seed: u64) -> ShardSampler {
+        let take = samples_per_rank.min(dataset_len);
+        let mut rng = StdRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9e37_79b9));
+        let shard = rand::seq::index::sample(&mut rng, dataset_len, take).into_vec();
+        ShardSampler::new(shard, seed ^ 0xFACE ^ rank as u64)
+    }
+
+    fn reshuffle(&mut self) {
+        self.order.copy_from_slice(&self.shard);
+        self.order.shuffle(&mut self.rng);
+        self.cursor = 0;
+    }
+
+    /// Next sample index (reshuffles at epoch boundaries).
+    pub fn next_index(&mut self) -> usize {
+        if self.cursor >= self.order.len() {
+            self.epoch += 1;
+            self.reshuffle();
+        }
+        let idx = self.order[self.cursor];
+        self.cursor += 1;
+        idx
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Shard size.
+    pub fn shard_len(&self) -> usize {
+        self.shard.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_shard_each_epoch() {
+        let mut s = ShardSampler::new(vec![3, 5, 7, 9], 1);
+        let mut seen: Vec<usize> = (0..4).map(|_| s.next_index()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![3, 5, 7, 9]);
+        assert_eq!(s.epoch(), 0);
+        let _ = s.next_index();
+        assert_eq!(s.epoch(), 1, "reshuffle advances the epoch");
+    }
+
+    #[test]
+    fn epochs_are_differently_shuffled() {
+        let mut s = ShardSampler::new((0..32).collect(), 2);
+        let e0: Vec<usize> = (0..32).map(|_| s.next_index()).collect();
+        let e1: Vec<usize> = (0..32).map(|_| s.next_index()).collect();
+        assert_ne!(e0, e1, "epoch orders should differ");
+        let mut a = e0.clone();
+        let mut b = e1.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "same underlying shard");
+    }
+
+    #[test]
+    fn rank_shards_differ_but_are_deterministic() {
+        let a = ShardSampler::for_rank(1000, 0, 50, 9);
+        let b = ShardSampler::for_rank(1000, 1, 50, 9);
+        let a2 = ShardSampler::for_rank(1000, 0, 50, 9);
+        assert_ne!(a.shard, b.shard);
+        assert_eq!(a.shard, a2.shard);
+        assert_eq!(a.shard_len(), 50);
+    }
+
+    #[test]
+    fn shard_larger_than_dataset_is_clamped() {
+        let s = ShardSampler::for_rank(10, 0, 250, 1);
+        assert_eq!(s.shard_len(), 10);
+    }
+}

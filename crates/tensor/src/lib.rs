@@ -1,0 +1,61 @@
+//! # exaclim-tensor
+//!
+//! Dense NCHW tensor kernels for the exaclim reproduction of
+//! *Exascale Deep Learning for Climate Analytics* (Kurth et al., SC'18).
+//!
+//! The paper trains its networks with cuDNN kernels on P100/V100 GPUs; this
+//! crate provides the equivalent CPU substrate:
+//!
+//! * [`Tensor`] — a dense, row-major (NCHW) tensor of `f32` or software
+//!   [`F16`] storage. FP16 tensors round every stored value through IEEE
+//!   binary16, reproducing mixed-precision numerics (overflow to infinity,
+//!   reduced mantissa) while computing in `f32` — the same convention as
+//!   Volta tensor cores (FP16 in, FP32 accumulate).
+//! * [`ops`] — convolution (direct and im2col-GEMM, with stride/padding/
+//!   dilation for the atrous layers of DeepLabv3+), transposed convolution,
+//!   max/avg pooling, batch normalization, bilinear interpolation,
+//!   pointwise kernels and reductions. Each has a forward and backward
+//!   implementation verified by finite differences.
+//! * [`profile`] — a kernel census recorder. Every kernel launch reports its
+//!   category, FLOP count and bytes moved, using the paper's conventions
+//!   (Section VI: 2 FLOPs per multiply-add, implicit-GEMM convolution
+//!   counts). This is the data source for the Figure 2/3/8/9 analyses.
+
+pub mod half;
+pub mod init;
+pub mod ops;
+pub mod profile;
+pub mod shape;
+pub mod tensor;
+
+pub use crate::half::F16;
+pub use crate::shape::Shape;
+pub use crate::tensor::{DType, Tensor};
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// Human-readable description of the offending access.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            TensorError::IndexOutOfBounds { context } => {
+                write!(f, "index out of bounds: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

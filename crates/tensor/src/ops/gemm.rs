@@ -1,0 +1,173 @@
+//! Blocked row-major GEMM.
+//!
+//! cuDNN lowers most of the paper's convolutions to implicit GEMMs; our
+//! im2col convolution path does the same explicitly through this kernel.
+//! The inner loop is written i-k-j so the `B` row is streamed contiguously
+//! and the compiler can vectorize the update of a contiguous `C` row.
+
+use crate::profile::{self, KernelKind};
+use rayon::prelude::*;
+
+/// `c[m×n] += a[m×k] · b[k×n]`, all row-major dense slices.
+///
+/// Parallelized over rows of `C` with rayon. Records a census entry of
+/// `2·m·n·k` FLOPs when invoked directly (the convolution wrappers record
+/// at the op level instead and call [`gemm_noprofile`]).
+///
+/// # Panics
+/// Panics if slice lengths do not match the given dimensions.
+pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    profile::record(
+        KernelKind::Conv,
+        "gemm",
+        2 * (m * n * k) as u64,
+        4 * (m * k + k * n) as u64,
+        4 * (m * n) as u64,
+    );
+    gemm_noprofile(m, n, k, a, b, c);
+}
+
+/// [`gemm`] without the census entry; used internally by convolution
+/// kernels that account their FLOPs at the op level.
+pub fn gemm_noprofile(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Parallelize across C rows; each task owns a disjoint slice of C.
+    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_ij += a_ik * b_kj;
+            }
+        }
+    });
+}
+
+/// `c[m×n] += aᵀ[m×k] · b[k×n]` where `a` is stored as `k×m` row-major.
+///
+/// Used by the im2col weight-gradient kernel, which needs `Wᵍ = Gᵒᵘᵗ · colᵀ`
+/// style contractions without materializing a transpose.
+pub fn gemm_at_b(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A must be k×m (transposed)");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        for kk in 0..k {
+            let a_ik = a[kk * m + i];
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_ij += a_ik * b_kj;
+            }
+        }
+    });
+}
+
+/// `c[m×n] += a[m×k] · bᵀ[k×n]` where `b` is stored as `n×k` row-major.
+pub fn gemm_a_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), n * k, "B must be n×k (transposed)");
+    assert_eq!(c.len(), m * n, "C must be m×n");
+    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, c_ij) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *c_ij += acc;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_naive() {
+        let (m, n, k) = (5, 7, 9);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 13 % 17) as f32 - 8.0) * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.5).collect();
+        let mut c = vec![0.0; m * n];
+        gemm_noprofile(m, n, k, &a, &b, &mut c);
+        let expect = naive(m, n, k, &a, &b);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = vec![1.0, 2.0];
+        let b = vec![3.0, 4.0];
+        let mut c = vec![10.0];
+        gemm_noprofile(1, 1, 2, &a, &b, &mut c);
+        assert_eq!(c[0], 10.0 + 3.0 + 8.0);
+    }
+
+    #[test]
+    fn transposed_variants_match() {
+        let (m, n, k) = (4, 6, 5);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32).cos()).collect();
+        let expect = naive(m, n, k, &a, &b);
+
+        // a stored transposed (k×m)
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        gemm_at_b(m, n, k, &at, &b, &mut c1);
+
+        // b stored transposed (n×k)
+        let mut bt = vec![0.0; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c2 = vec![0.0; m * n];
+        gemm_a_bt(m, n, k, &a, &bt, &mut c2);
+
+        for ((x, y), z) in c1.iter().zip(c2.iter()).zip(expect.iter()) {
+            assert!((x - z).abs() < 1e-4);
+            assert!((y - z).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        let mut c: Vec<f32> = vec![];
+        gemm_noprofile(0, 0, 0, &[], &[], &mut c);
+        let mut c2 = vec![5.0; 4];
+        gemm_noprofile(2, 2, 0, &[], &[], &mut c2);
+        assert_eq!(c2, vec![5.0; 4]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Data-layout transforms (NCHW ⇄ NHWC).
+//!
+//! §VII-A: "we modified the data layout of the decoder stage of the
+//! DeepLabv3+ network to produce fewer extraneous transposes. This
+//! modification yielded a 10% speedup ... for our largest scale run."
+//! TensorFlow inserts these copies around kernels with mismatched layout
+//! preferences; they are the "Copies/Transposes" census rows. These
+//! explicit transforms let layout choices be made (and costed) directly.
+
+use crate::profile::{self, KernelKind};
+use crate::tensor::Tensor;
+
+/// NCHW → NHWC transpose (returns a flat buffer in NHWC order plus the
+/// dims; the [`Tensor`] type itself stays NCHW by convention).
+pub fn nchw_to_nhwc(x: &Tensor) -> Vec<f32> {
+    let (n, c, h, w) = x.shape().nchw();
+    let xs = x.as_slice();
+    let mut out = vec![0.0f32; xs.len()];
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..h {
+                let src = ((ni * c + ci) * h + hi) * w;
+                for wi in 0..w {
+                    out[((ni * h + hi) * w + wi) * c + ci] = xs[src + wi];
+                }
+            }
+        }
+    }
+    profile::record(
+        KernelKind::CopyTranspose,
+        "nchw_to_nhwc",
+        0,
+        x.storage_bytes() as u64,
+        x.storage_bytes() as u64,
+    );
+    out
+}
+
+/// NHWC → NCHW transpose, inverse of [`nchw_to_nhwc`].
+pub fn nhwc_to_nchw(data: &[f32], n: usize, c: usize, h: usize, w: usize, dtype: crate::DType) -> Tensor {
+    assert_eq!(data.len(), n * c * h * w, "layout buffer size mismatch");
+    let mut out = Tensor::zeros([n, c, h, w], dtype);
+    {
+        let os = out.as_mut_slice();
+        for ni in 0..n {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let src = ((ni * h + hi) * w + wi) * c;
+                    for ci in 0..c {
+                        os[((ni * c + ci) * h + hi) * w + wi] = data[src + ci];
+                    }
+                }
+            }
+        }
+    }
+    out.requantize();
+    profile::record(
+        KernelKind::CopyTranspose,
+        "nhwc_to_nchw",
+        0,
+        out.storage_bytes() as u64,
+        out.storage_bytes() as u64,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, seeded_rng};
+    use crate::DType;
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let mut rng = seeded_rng(8);
+        let x = randn([2, 3, 4, 5], DType::F32, 1.0, &mut rng);
+        let nhwc = nchw_to_nhwc(&x);
+        let back = nhwc_to_nchw(&nhwc, 2, 3, 4, 5, DType::F32);
+        assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn element_positions_are_correct() {
+        // 1×2×2×2: NCHW order [c0: a b / c d, c1: e f / g h]
+        let x = Tensor::from_vec(
+            [1, 2, 2, 2],
+            DType::F32,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+        );
+        let nhwc = nchw_to_nhwc(&x);
+        // NHWC: (h0,w0): [c0=1, c1=5], (h0,w1): [2, 6], ...
+        assert_eq!(nhwc, vec![1.0, 5.0, 2.0, 6.0, 3.0, 7.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn census_counts_transposes() {
+        let x = Tensor::zeros([1, 4, 3, 3], DType::F32);
+        crate::profile::set_phase(crate::profile::Phase::Forward);
+        let ((), prof) = crate::profile::capture(|| {
+            let nhwc = nchw_to_nhwc(&x);
+            let _ = nhwc_to_nchw(&nhwc, 1, 4, 3, 3, DType::F32);
+        });
+        let cats = prof.by_category();
+        let copies = cats
+            .iter()
+            .find(|(c, _)| *c == crate::profile::Category::CopiesTransposes)
+            .expect("category")
+            .1;
+        assert_eq!(copies.kernels, 2, "each layout change is a copy kernel");
+        assert_eq!(copies.bytes, 4 * x.storage_bytes() as u64);
+    }
+}

@@ -1,0 +1,32 @@
+//! Tensor kernels: the cuDNN-equivalent substrate.
+//!
+//! Every public op records a [`crate::profile`] census entry using the
+//! paper's FLOP conventions (Section VI): a multiply-add counts as 2 FLOPs,
+//! and a convolution (regardless of algorithm — direct or implicit/im2col
+//! GEMM) counts `2·N·K·C·R·S·Ho·Wo`. [`fused`] implements the pointwise
+//! fusion the paper names as its next optimization (§VII-A).
+
+pub mod conv;
+pub mod deconv;
+pub mod fused;
+pub mod gemm;
+pub mod interp;
+pub mod layout;
+pub mod norm;
+pub mod pointwise;
+pub mod pool;
+pub mod reduce;
+
+pub use conv::{conv2d_backward, conv2d_forward, Conv2dParams, ConvAlgo};
+pub use deconv::{deconv2d_backward, deconv2d_forward, Deconv2dParams};
+pub use fused::{conv2d_forward_fused, Epilogue};
+pub use gemm::gemm;
+pub use interp::{bilinear_resize_backward, bilinear_resize_forward};
+pub use layout::{nchw_to_nhwc, nhwc_to_nchw};
+pub use norm::{batchnorm_backward, batchnorm_forward, BatchNormCache};
+pub use pointwise::{
+    add, add_bias_nchw, bias_grad_nchw, concat_channels, dropout_backward, dropout_forward,
+    mul, relu_backward, relu_forward, scale_tensor, split_channels,
+};
+pub use pool::{avgpool_global_backward, avgpool_global_forward, maxpool2d_backward, maxpool2d_forward};
+pub use reduce::{log_softmax_channels, softmax_channels};

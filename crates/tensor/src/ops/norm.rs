@@ -1,0 +1,281 @@
+//! Batch normalization (training-mode, per-channel over N×H×W).
+//!
+//! Both networks in the paper interleave batch norm with their
+//! convolutions (ResNet-50 core; Tiramisu dense layers). Statistics are
+//! always accumulated in `f32` even for FP16 activations, following the
+//! mixed-precision recipe the paper's Volta runs used.
+
+use crate::profile::{self, KernelKind};
+use crate::tensor::{DType, Tensor};
+
+/// Saved forward state needed by [`batchnorm_backward`].
+#[derive(Debug, Clone)]
+pub struct BatchNormCache {
+    /// Per-channel batch mean.
+    pub mean: Vec<f32>,
+    /// Per-channel `1/sqrt(var + eps)`.
+    pub inv_std: Vec<f32>,
+    /// Normalized activations (pre scale/shift).
+    pub xhat: Tensor,
+}
+
+/// Training-mode batch norm forward.
+///
+/// * `gamma`, `beta`: per-channel scale/shift, `[C]`.
+/// * `running`: optional `(running_mean, running_var, momentum)` updated as
+///   `r = (1−m)·r + m·batch_stat`.
+///
+/// Returns `(y, cache)`.
+#[allow(clippy::needless_range_loop)]
+pub fn batchnorm_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+    running: Option<(&mut Vec<f32>, &mut Vec<f32>, f32)>,
+) -> (Tensor, BatchNormCache) {
+    let (n, c, h, w) = x.shape().nchw();
+    assert_eq!(gamma.numel(), c, "gamma must be per-channel");
+    assert_eq!(beta.numel(), c, "beta must be per-channel");
+    let m = (n * h * w) as f32;
+    let xs = x.as_slice();
+
+    let mut mean = vec![0.0f32; c];
+    let mut var = vec![0.0f32; c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let mut acc = 0.0f64;
+            for &v in &xs[base..base + h * w] {
+                acc += v as f64;
+            }
+            mean[ci] += acc as f32;
+        }
+    }
+    for mv in mean.iter_mut() {
+        *mv /= m;
+    }
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let mu = mean[ci];
+            let mut acc = 0.0f64;
+            for &v in &xs[base..base + h * w] {
+                let d = v - mu;
+                acc += (d * d) as f64;
+            }
+            var[ci] += acc as f32;
+        }
+    }
+    for vv in var.iter_mut() {
+        *vv /= m;
+    }
+
+    if let Some((rm, rv, mom)) = running {
+        assert_eq!(rm.len(), c);
+        assert_eq!(rv.len(), c);
+        for ci in 0..c {
+            rm[ci] = (1.0 - mom) * rm[ci] + mom * mean[ci];
+            rv[ci] = (1.0 - mom) * rv[ci] + mom * var[ci];
+        }
+    }
+
+    let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+    let mut xhat = Tensor::zeros(x.shape().clone(), DType::F32);
+    let mut y = Tensor::zeros(x.shape().clone(), x.dtype());
+    {
+        let gs = gamma.as_slice();
+        let bs = beta.as_slice();
+        let xh = xhat.as_mut_slice();
+        let ys = y.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let mu = mean[ci];
+                let is = inv_std[ci];
+                let g = gs[ci];
+                let b = bs[ci];
+                for i in base..base + h * w {
+                    let xn = (xs[i] - mu) * is;
+                    xh[i] = xn;
+                    ys[i] = g * xn + b;
+                }
+            }
+        }
+    }
+    y.requantize();
+    profile::record(
+        KernelKind::Pointwise,
+        "batchnorm_fwd",
+        (x.numel() * 5) as u64,
+        x.storage_bytes() as u64,
+        (y.storage_bytes() + xhat.storage_bytes()) as u64,
+    );
+    (y, BatchNormCache { mean, inv_std, xhat })
+}
+
+/// Gradients of batch norm.
+#[derive(Debug)]
+pub struct BatchNormGrads {
+    /// `∂L/∂x`.
+    pub grad_input: Tensor,
+    /// `∂L/∂γ`, `[C]`.
+    pub grad_gamma: Tensor,
+    /// `∂L/∂β`, `[C]`.
+    pub grad_beta: Tensor,
+}
+
+/// Training-mode batch norm backward.
+pub fn batchnorm_backward(
+    grad_out: &Tensor,
+    gamma: &Tensor,
+    cache: &BatchNormCache,
+) -> BatchNormGrads {
+    let (n, c, h, w) = grad_out.shape().nchw();
+    let m = (n * h * w) as f32;
+    let gos = grad_out.as_slice();
+    let xh = cache.xhat.as_slice();
+    let gs = gamma.as_slice();
+
+    let mut sum_gy = vec![0.0f32; c];
+    let mut sum_gy_xhat = vec![0.0f32; c];
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let mut a = 0.0f64;
+            let mut b = 0.0f64;
+            for i in base..base + h * w {
+                a += gos[i] as f64;
+                b += (gos[i] * xh[i]) as f64;
+            }
+            sum_gy[ci] += a as f32;
+            sum_gy_xhat[ci] += b as f32;
+        }
+    }
+
+    let mut gx = Tensor::zeros(grad_out.shape().clone(), grad_out.dtype());
+    {
+        let gxs = gx.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let k = gs[ci] * cache.inv_std[ci] / m;
+                let sg = sum_gy[ci];
+                let sgx = sum_gy_xhat[ci];
+                for i in base..base + h * w {
+                    gxs[i] = k * (m * gos[i] - sg - xh[i] * sgx);
+                }
+            }
+        }
+    }
+    gx.requantize();
+
+    let grad_gamma = Tensor::from_vec([c], DType::F32, sum_gy_xhat);
+    let grad_beta = Tensor::from_vec([c], DType::F32, sum_gy);
+    profile::record(
+        KernelKind::Pointwise,
+        "batchnorm_bwd",
+        (grad_out.numel() * 8) as u64,
+        (grad_out.storage_bytes() * 2) as u64,
+        gx.storage_bytes() as u64,
+    );
+    BatchNormGrads { grad_input: gx, grad_gamma, grad_beta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{randn, seeded_rng};
+
+    #[test]
+    fn output_is_normalized() {
+        let mut rng = seeded_rng(3);
+        let x = randn([4, 2, 5, 5], DType::F32, 3.0, &mut rng);
+        let gamma = Tensor::full([2], DType::F32, 1.0);
+        let beta = Tensor::zeros([2], DType::F32);
+        let (y, _) = batchnorm_forward(&x, &gamma, &beta, 1e-5, None);
+        // Per-channel mean ≈ 0, var ≈ 1.
+        let (n, c, h, w) = y.shape().nchw();
+        for ci in 0..c {
+            let mut vals = vec![];
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                vals.extend_from_slice(&y.as_slice()[base..base + h * w]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|&v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_shift_and_scale() {
+        let mut rng = seeded_rng(4);
+        let x = randn([2, 1, 4, 4], DType::F32, 1.0, &mut rng);
+        let gamma = Tensor::full([1], DType::F32, 2.0);
+        let beta = Tensor::full([1], DType::F32, 5.0);
+        let (y, _) = batchnorm_forward(&x, &gamma, &beta, 1e-5, None);
+        let mean = y.mean();
+        assert!((mean - 5.0).abs() < 1e-3, "beta shifts the mean: {mean}");
+    }
+
+    #[test]
+    fn running_stats_update() {
+        let mut rng = seeded_rng(5);
+        let x = randn([2, 2, 4, 4], DType::F32, 2.0, &mut rng);
+        let gamma = Tensor::full([2], DType::F32, 1.0);
+        let beta = Tensor::zeros([2], DType::F32);
+        let mut rm = vec![0.0; 2];
+        let mut rv = vec![1.0; 2];
+        let (_, cache) = batchnorm_forward(&x, &gamma, &beta, 1e-5, Some((&mut rm, &mut rv, 0.1)));
+        for (r, m) in rm.iter().zip(cache.mean.iter()) {
+            assert!((r - 0.1 * m).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = seeded_rng(6);
+        let x = randn([2, 2, 3, 3], DType::F32, 1.5, &mut rng);
+        let gamma = Tensor::from_vec([2], DType::F32, vec![1.2, 0.8]);
+        let beta = Tensor::from_vec([2], DType::F32, vec![0.1, -0.2]);
+        let eps = 1e-5;
+        let coeff: Vec<f32> = (0..x.numel()).map(|i| ((i * 37 % 11) as f32 - 5.0) * 0.1).collect();
+        let loss = |x: &Tensor, g: &Tensor, b: &Tensor| -> f32 {
+            let (y, _) = batchnorm_forward(x, g, b, eps, None);
+            y.as_slice().iter().zip(coeff.iter()).map(|(a, c)| a * c).sum()
+        };
+        let (y0, cache) = batchnorm_forward(&x, &gamma, &beta, eps, None);
+        let go = Tensor::from_vec(y0.shape().clone(), DType::F32, coeff.clone());
+        let grads = batchnorm_backward(&go, &gamma, &cache);
+
+        let h = 1e-2f32;
+        for i in [0usize, 7, x.numel() - 1] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += h;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= h;
+            let num = (loss(&xp, &gamma, &beta) - loss(&xm, &gamma, &beta)) / (2.0 * h);
+            let ana = grads.grad_input.as_slice()[i];
+            assert!((num - ana).abs() < 3e-2, "grad x[{i}]: {num} vs {ana}");
+        }
+        for i in 0..2 {
+            let mut gp = gamma.clone();
+            gp.as_mut_slice()[i] += h;
+            let mut gm = gamma.clone();
+            gm.as_mut_slice()[i] -= h;
+            let num = (loss(&x, &gp, &beta) - loss(&x, &gm, &beta)) / (2.0 * h);
+            let ana = grads.grad_gamma.as_slice()[i];
+            assert!((num - ana).abs() < 3e-2, "grad gamma[{i}]: {num} vs {ana}");
+
+            let mut bp = beta.clone();
+            bp.as_mut_slice()[i] += h;
+            let mut bm = beta.clone();
+            bm.as_mut_slice()[i] -= h;
+            let num = (loss(&x, &gamma, &bp) - loss(&x, &gamma, &bm)) / (2.0 * h);
+            let ana = grads.grad_beta.as_slice()[i];
+            assert!((num - ana).abs() < 3e-2, "grad beta[{i}]: {num} vs {ana}");
+        }
+    }
+}

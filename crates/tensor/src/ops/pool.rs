@@ -1,0 +1,202 @@
+//! Pooling kernels.
+//!
+//! The ResNet-50 core of the paper's DeepLabv3+ begins with a
+//! `3×3 maxpool, /2` (Figure 1); global average pooling is provided for
+//! ASPP-style image-level features.
+
+use crate::profile::{self, KernelKind};
+use crate::shape::conv_out_dim;
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Forward max pooling.
+///
+/// Returns the pooled tensor and the flat input index of each maximum
+/// (needed by [`maxpool2d_backward`]).
+pub fn maxpool2d_forward(
+    x: &Tensor,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Vec<u32>) {
+    let (n, c, h, w) = x.shape().nchw();
+    let ho = conv_out_dim(h, kernel, stride, pad, 1);
+    let wo = conv_out_dim(w, kernel, stride, pad, 1);
+    let mut y = Tensor::zeros([n, c, ho, wo], x.dtype());
+    let mut arg = vec![0u32; n * c * ho * wo];
+    {
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        ys.par_chunks_mut(ho * wo)
+            .zip(arg.par_chunks_mut(ho * wo))
+            .enumerate()
+            .for_each(|(plane, (yp, ap))| {
+                let xbase = plane * h * w;
+                for hoi in 0..ho {
+                    for woi in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for r in 0..kernel {
+                            let hi = (hoi * stride + r) as isize - pad as isize;
+                            if hi < 0 || hi >= h as isize {
+                                continue;
+                            }
+                            for s in 0..kernel {
+                                let wi = (woi * stride + s) as isize - pad as isize;
+                                if wi < 0 || wi >= w as isize {
+                                    continue;
+                                }
+                                let idx = xbase + hi as usize * w + wi as usize;
+                                if xs[idx] > best {
+                                    best = xs[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        yp[hoi * wo + woi] = best;
+                        ap[hoi * wo + woi] = best_idx as u32;
+                    }
+                }
+            });
+    }
+    profile::record(
+        KernelKind::Pointwise,
+        "maxpool2d_fwd",
+        (n * c * ho * wo * kernel * kernel) as u64,
+        x.storage_bytes() as u64,
+        y.storage_bytes() as u64,
+    );
+    (y, arg)
+}
+
+/// Backward max pooling: routes each output gradient to its argmax input.
+pub fn maxpool2d_backward(x: &Tensor, grad_out: &Tensor, argmax: &[u32]) -> Tensor {
+    let mut gx = Tensor::zeros(x.shape().clone(), x.dtype());
+    {
+        let gos = grad_out.as_slice();
+        let gxs = gx.as_mut_slice();
+        for (g, &idx) in gos.iter().zip(argmax.iter()) {
+            gxs[idx as usize] += *g;
+        }
+    }
+    gx.requantize();
+    profile::record(
+        KernelKind::Pointwise,
+        "maxpool2d_bwd",
+        grad_out.numel() as u64,
+        grad_out.storage_bytes() as u64,
+        gx.storage_bytes() as u64,
+    );
+    gx
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C, 1, 1]`.
+pub fn avgpool_global_forward(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let mut y = Tensor::zeros([n, c, 1, 1], x.dtype());
+    let hw = (h * w) as f32;
+    {
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        for (plane, yp) in ys.iter_mut().enumerate() {
+            let base = plane * h * w;
+            *yp = xs[base..base + h * w].iter().sum::<f32>() / hw;
+        }
+    }
+    y.requantize();
+    profile::record(
+        KernelKind::Pointwise,
+        "avgpool_global_fwd",
+        x.numel() as u64,
+        x.storage_bytes() as u64,
+        y.storage_bytes() as u64,
+    );
+    y
+}
+
+/// Backward global average pooling: spreads each gradient uniformly.
+pub fn avgpool_global_backward(x_shape: &crate::Shape, grad_out: &Tensor) -> Tensor {
+    let (n, c, h, w) = x_shape.nchw();
+    let mut gx = Tensor::zeros([n, c, h, w], grad_out.dtype());
+    let hw = (h * w) as f32;
+    {
+        let gos = grad_out.as_slice();
+        let gxs = gx.as_mut_slice();
+        for (plane, &g) in gos.iter().enumerate() {
+            let v = g / hw;
+            for o in gxs[plane * h * w..(plane + 1) * h * w].iter_mut() {
+                *o = v;
+            }
+        }
+    }
+    gx.requantize();
+    profile::record(
+        KernelKind::Pointwise,
+        "avgpool_global_bwd",
+        gx.numel() as u64,
+        grad_out.storage_bytes() as u64,
+        gx.storage_bytes() as u64,
+    );
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::DType;
+
+    #[test]
+    fn maxpool_hand_case() {
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            DType::F32,
+            vec![
+                1.0, 2.0, 5.0, 4.0, //
+                3.0, 8.0, 6.0, 7.0, //
+                9.0, 2.0, 1.0, 0.0, //
+                4.0, 5.0, 3.0, 2.0,
+            ],
+        );
+        let (y, arg) = maxpool2d_forward(&x, 2, 2, 0);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[8.0, 7.0, 9.0, 3.0]);
+        assert_eq!(arg, vec![5, 7, 8, 14]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec([1, 1, 2, 2], DType::F32, vec![1.0, 9.0, 3.0, 2.0]);
+        let (y, arg) = maxpool2d_forward(&x, 2, 2, 0);
+        assert_eq!(y.as_slice(), &[9.0]);
+        let go = Tensor::from_vec([1, 1, 1, 1], DType::F32, vec![5.0]);
+        let gx = maxpool2d_backward(&x, &go, &arg);
+        assert_eq!(gx.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_padded_matches_resnet_stem() {
+        // 3×3 maxpool stride 2 pad 1 halves spatial dims (paper Fig 1).
+        let x = Tensor::zeros([1, 2, 576, 4], DType::F32);
+        let (y, _) = maxpool2d_forward(&x, 3, 2, 1);
+        assert_eq!(y.shape().dims(), &[1, 2, 288, 2]);
+    }
+
+    #[test]
+    fn padded_regions_never_win() {
+        // All-negative input with padding: maxima must come from real pixels,
+        // not zero-padding.
+        let x = Tensor::from_vec([1, 1, 2, 2], DType::F32, vec![-5.0, -6.0, -7.0, -8.0]);
+        let (y, _) = maxpool2d_forward(&x, 3, 2, 1);
+        assert_eq!(y.as_slice(), &[-5.0]);
+    }
+
+    #[test]
+    fn global_avgpool_roundtrip() {
+        let x = Tensor::from_vec([1, 2, 2, 2], DType::F32, vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]);
+        let y = avgpool_global_forward(&x);
+        assert_eq!(y.as_slice(), &[2.5, 25.0]);
+        let go = Tensor::from_vec([1, 2, 1, 1], DType::F32, vec![4.0, 8.0]);
+        let gx = avgpool_global_backward(x.shape(), &go);
+        assert_eq!(gx.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Channel-axis softmax / log-softmax for per-pixel classification.
+//!
+//! The segmentation head emits `[N, 3, H, W]` logits (TC / AR / background)
+//! and the weighted cross-entropy loss consumes per-pixel log-probabilities.
+//! Both use the max-subtraction trick, which matters doubly under FP16.
+
+use crate::profile::{self, KernelKind};
+use crate::tensor::Tensor;
+
+/// Softmax over the channel axis of an NCHW tensor.
+pub fn softmax_channels(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let mut y = Tensor::zeros(x.shape().clone(), x.dtype());
+    {
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        let hw = h * w;
+        for ni in 0..n {
+            for p in 0..hw {
+                let mut mx = f32::NEG_INFINITY;
+                for ci in 0..c {
+                    mx = mx.max(xs[(ni * c + ci) * hw + p]);
+                }
+                let mut z = 0.0f32;
+                for ci in 0..c {
+                    z += (xs[(ni * c + ci) * hw + p] - mx).exp();
+                }
+                for ci in 0..c {
+                    ys[(ni * c + ci) * hw + p] = (xs[(ni * c + ci) * hw + p] - mx).exp() / z;
+                }
+            }
+        }
+    }
+    y.requantize();
+    profile::record(
+        KernelKind::Pointwise,
+        "softmax",
+        (x.numel() * 4) as u64,
+        x.storage_bytes() as u64,
+        y.storage_bytes() as u64,
+    );
+    y
+}
+
+/// Log-softmax over the channel axis of an NCHW tensor (always `f32`
+/// output: the loss reduction is carried in master precision).
+pub fn log_softmax_channels(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = x.shape().nchw();
+    let mut y = Tensor::zeros(x.shape().clone(), crate::tensor::DType::F32);
+    {
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        let hw = h * w;
+        for ni in 0..n {
+            for p in 0..hw {
+                let mut mx = f32::NEG_INFINITY;
+                for ci in 0..c {
+                    mx = mx.max(xs[(ni * c + ci) * hw + p]);
+                }
+                let mut z = 0.0f32;
+                for ci in 0..c {
+                    z += (xs[(ni * c + ci) * hw + p] - mx).exp();
+                }
+                let logz = z.ln() + mx;
+                for ci in 0..c {
+                    ys[(ni * c + ci) * hw + p] = xs[(ni * c + ci) * hw + p] - logz;
+                }
+            }
+        }
+    }
+    profile::record(
+        KernelKind::Pointwise,
+        "log_softmax",
+        (x.numel() * 4) as u64,
+        x.storage_bytes() as u64,
+        y.storage_bytes() as u64,
+    );
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::DType;
+
+    #[test]
+    fn softmax_sums_to_one_per_pixel() {
+        let x = Tensor::from_vec(
+            [1, 3, 1, 2],
+            DType::F32,
+            vec![1.0, -2.0, 0.5, 3.0, 2.0, -1.0],
+        );
+        let y = softmax_channels(&x);
+        for p in 0..2 {
+            let s: f32 = (0..3).map(|c| y.at(&[0, c, 0, p])).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec([1, 2, 1, 1], DType::F32, vec![1000.0, 1001.0]);
+        let y = softmax_channels(&a);
+        let e = 1.0 / (1.0 + 1.0f32.exp());
+        assert!((y.at(&[0, 0, 0, 0]) - e).abs() < 1e-5, "no overflow at large logits");
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let x = Tensor::from_vec([1, 3, 1, 1], DType::F32, vec![0.3, -1.2, 2.0]);
+        let p = softmax_channels(&x);
+        let lp = log_softmax_channels(&x);
+        for c in 0..3 {
+            assert!((lp.at(&[0, c, 0, 0]) - p.at(&[0, c, 0, 0]).ln()).abs() < 1e-5);
+        }
+    }
+}

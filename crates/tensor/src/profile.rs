@@ -1,0 +1,303 @@
+//! Kernel census recorder.
+//!
+//! Section VI of the paper determines FLOP rates by traversing the
+//! TensorFlow operation graph and counting the floating-point work of every
+//! kernel, then groups kernels into eight categories for the roofline-style
+//! analysis of Figures 3, 8 and 9. This module is the equivalent
+//! instrument: every kernel in [`crate::ops`] reports `(kind, flops,
+//! bytes_read, bytes_written)` here, and the execution *phase*
+//! (forward / backward / optimizer) set by the training loop maps the kind
+//! onto the paper's category rows.
+//!
+//! Recording is off by default and costs a single relaxed atomic load per
+//! kernel when disabled.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+
+/// What a kernel does, independent of when it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Convolution, transposed convolution, or the GEMM backing one.
+    Conv,
+    /// Elementwise / small-reduction work: bias, activations, batch norm,
+    /// pooling, losses, dropout.
+    Pointwise,
+    /// Buffer copies and layout transposes (e.g. im2col scatter/gather,
+    /// concatenation).
+    CopyTranspose,
+    /// Precision conversion kernels.
+    TypeConversion,
+    /// Gradient all-reduce traffic.
+    Allreduce,
+}
+
+/// When a kernel runs. Set by the training loop around each pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Forward pass.
+    Forward,
+    /// Backward pass.
+    Backward,
+    /// Optimizer / weight-update pass.
+    Optimizer,
+}
+
+/// The paper's kernel categories (rows of Figures 3/8/9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Forward-pass convolutions.
+    ForwardConv,
+    /// Forward-pass pointwise kernels.
+    ForwardPointwise,
+    /// Backward-pass convolutions.
+    BackwardConv,
+    /// Backward-pass pointwise kernels.
+    BackwardPointwise,
+    /// Optimizer kernels.
+    Optimizer,
+    /// Copies and transposes (any phase).
+    CopiesTransposes,
+    /// All-reduce (NCCL-equivalent) kernels.
+    Allreduce,
+    /// Type conversions (any phase).
+    TypeConversions,
+}
+
+impl Category {
+    /// All categories in the paper's table order.
+    pub const ALL: [Category; 8] = [
+        Category::ForwardConv,
+        Category::ForwardPointwise,
+        Category::BackwardConv,
+        Category::BackwardPointwise,
+        Category::Optimizer,
+        Category::CopiesTransposes,
+        Category::Allreduce,
+        Category::TypeConversions,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::ForwardConv => "Forward Convolutions",
+            Category::ForwardPointwise => "Forward Point-wise",
+            Category::BackwardConv => "Backward Convolutions",
+            Category::BackwardPointwise => "Backward Point-wise",
+            Category::Optimizer => "Optimizer",
+            Category::CopiesTransposes => "Copies/Transposes",
+            Category::Allreduce => "Allreduce (NCCL)",
+            Category::TypeConversions => "Type Conversions",
+        }
+    }
+}
+
+fn categorize(phase: Phase, kind: KernelKind) -> Category {
+    match (kind, phase) {
+        (KernelKind::Conv, Phase::Forward) => Category::ForwardConv,
+        (KernelKind::Conv, _) => Category::BackwardConv,
+        (KernelKind::Pointwise, Phase::Forward) => Category::ForwardPointwise,
+        (KernelKind::Pointwise, Phase::Backward) => Category::BackwardPointwise,
+        (KernelKind::Pointwise, Phase::Optimizer) => Category::Optimizer,
+        (KernelKind::CopyTranspose, _) => Category::CopiesTransposes,
+        (KernelKind::Allreduce, _) => Category::Allreduce,
+        (KernelKind::TypeConversion, _) => Category::TypeConversions,
+    }
+}
+
+/// One recorded kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Category (phase × kind).
+    pub category: Category,
+    /// Kernel name, e.g. `"conv2d_fwd_direct"`.
+    pub name: &'static str,
+    /// Floating-point operations (2 per multiply-add, per Section VI).
+    pub flops: u64,
+    /// Bytes read from "device memory".
+    pub bytes_read: u64,
+    /// Bytes written to "device memory".
+    pub bytes_written: u64,
+}
+
+/// Aggregate census over a recorded region.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Every kernel launch in order.
+    pub records: Vec<KernelRecord>,
+}
+
+/// Per-category aggregate of a [`Profile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CategoryTotals {
+    /// Number of kernel launches.
+    pub kernels: u64,
+    /// Total FLOPs.
+    pub flops: u64,
+    /// Total bytes moved (read + written).
+    pub bytes: u64,
+}
+
+impl Profile {
+    /// Sums records per category.
+    pub fn by_category(&self) -> Vec<(Category, CategoryTotals)> {
+        let mut out: Vec<(Category, CategoryTotals)> = Category::ALL
+            .iter()
+            .map(|&c| (c, CategoryTotals::default()))
+            .collect();
+        for r in &self.records {
+            let slot = out.iter_mut().find(|(c, _)| *c == r.category).expect("known category");
+            slot.1.kernels += 1;
+            slot.1.flops += r.flops;
+            slot.1.bytes += r.bytes_read + r.bytes_written;
+        }
+        out
+    }
+
+    /// Total FLOPs over all records.
+    pub fn total_flops(&self) -> u64 {
+        self.records.iter().map(|r| r.flops).sum()
+    }
+
+    /// Total bytes over all records.
+    pub fn total_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.bytes_read + r.bytes_written).sum()
+    }
+
+    /// Total kernel launches.
+    pub fn total_kernels(&self) -> usize {
+        self.records.len()
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PHASE: AtomicU8 = AtomicU8::new(0);
+static DATA: Mutex<Option<Profile>> = Mutex::new(None);
+
+/// Begins recording. Any previous un-collected profile is discarded.
+pub fn start() {
+    *DATA.lock() = Some(Profile::default());
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Stops recording and returns the collected census.
+pub fn stop() -> Profile {
+    ENABLED.store(false, Ordering::SeqCst);
+    DATA.lock().take().unwrap_or_default()
+}
+
+/// True while a census is being recorded.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Sets the current execution phase (global; the census is intended for
+/// single-rank analysis runs, mirroring the paper's single-node profiling).
+pub fn set_phase(phase: Phase) {
+    PHASE.store(
+        match phase {
+            Phase::Forward => 0,
+            Phase::Backward => 1,
+            Phase::Optimizer => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current execution phase.
+pub fn phase() -> Phase {
+    match PHASE.load(Ordering::Relaxed) {
+        0 => Phase::Forward,
+        1 => Phase::Backward,
+        _ => Phase::Optimizer,
+    }
+}
+
+/// Records one kernel launch if a census is active.
+#[inline]
+pub fn record(kind: KernelKind, name: &'static str, flops: u64, bytes_read: u64, bytes_written: u64) {
+    if !enabled() {
+        return;
+    }
+    let category = categorize(phase(), kind);
+    if let Some(p) = DATA.lock().as_mut() {
+        p.records.push(KernelRecord {
+            category,
+            name,
+            flops,
+            bytes_read,
+            bytes_written,
+        });
+    }
+}
+
+/// Re-records a previously captured kernel record verbatim (used when a
+/// fused op suspends recording around its inner kernels and restores the
+/// surrounding census).
+pub fn record_raw(record: KernelRecord) {
+    if !enabled() {
+        return;
+    }
+    if let Some(p) = DATA.lock().as_mut() {
+        p.records.push(record);
+    }
+}
+
+/// Runs `f` with recording active and returns its result plus the census.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Profile) {
+    start();
+    let out = f();
+    let prof = stop();
+    (out, prof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Profile state is global; serialize the tests that touch it.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn capture_collects_records() {
+        let _g = GUARD.lock();
+        set_phase(Phase::Forward);
+        let ((), prof) = capture(|| {
+            record(KernelKind::Conv, "k1", 100, 10, 20);
+            set_phase(Phase::Backward);
+            record(KernelKind::Conv, "k2", 200, 30, 40);
+            record(KernelKind::Pointwise, "k3", 5, 1, 1);
+        });
+        assert_eq!(prof.total_kernels(), 3);
+        assert_eq!(prof.total_flops(), 305);
+        assert_eq!(prof.total_bytes(), 102);
+        let cats = prof.by_category();
+        let get = |c: Category| cats.iter().find(|(cc, _)| *cc == c).unwrap().1;
+        assert_eq!(get(Category::ForwardConv).flops, 100);
+        assert_eq!(get(Category::BackwardConv).flops, 200);
+        assert_eq!(get(Category::BackwardPointwise).kernels, 1);
+        set_phase(Phase::Forward);
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _g = GUARD.lock();
+        let before = enabled();
+        assert!(!before, "no census should be active between tests");
+        record(KernelKind::Conv, "ignored", 1, 1, 1);
+        let ((), prof) = capture(|| {});
+        assert_eq!(prof.total_kernels(), 0);
+    }
+
+    #[test]
+    fn optimizer_phase_maps_pointwise_to_optimizer() {
+        let _g = GUARD.lock();
+        set_phase(Phase::Optimizer);
+        let ((), prof) = capture(|| {
+            record(KernelKind::Pointwise, "sgd", 10, 4, 4);
+        });
+        assert_eq!(prof.records[0].category, Category::Optimizer);
+        set_phase(Phase::Forward);
+    }
+}

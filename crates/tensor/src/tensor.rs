@@ -1,0 +1,351 @@
+//! The dense [`Tensor`] type.
+
+use crate::half::{quantize_f16, quantize_f16_slice};
+use crate::profile::{self, KernelKind};
+use crate::shape::Shape;
+
+/// Storage precision of a tensor.
+///
+/// `F16` tensors hold values that are exactly representable in IEEE
+/// binary16: every write is rounded through [`crate::F16`]. Computation is
+/// carried out in `f32` and results are re-quantized, which matches the
+/// "FP16 storage, FP32 accumulate" behaviour of Volta tensor cores that the
+/// paper's mixed-precision runs relied on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// IEEE binary32.
+    F32,
+    /// IEEE binary16 (software-emulated storage precision).
+    F16,
+}
+
+impl DType {
+    /// Bytes per element in this precision, used for memory-traffic
+    /// accounting in the kernel census (Figures 3/8/9).
+    #[inline]
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DType::F32 => write!(f, "FP32"),
+            DType::F16 => write!(f, "FP16"),
+        }
+    }
+}
+
+/// A dense, row-major tensor.
+///
+/// Values are physically held as `f32`; when `dtype` is [`DType::F16`]
+/// every stored value has been rounded through binary16, so the in-memory
+/// image is bit-equivalent (up to widening) to a true `u16` half buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    dtype: DType,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>, dtype: DType) -> Tensor {
+        let shape = shape.into();
+        let numel = shape.numel();
+        Tensor {
+            shape,
+            dtype,
+            data: vec![0.0; numel],
+        }
+    }
+
+    /// A tensor filled with `value` (quantized if FP16).
+    pub fn full(shape: impl Into<Shape>, dtype: DType, value: f32) -> Tensor {
+        let shape = shape.into();
+        let v = match dtype {
+            DType::F32 => value,
+            DType::F16 => quantize_f16(value),
+        };
+        let numel = shape.numel();
+        Tensor {
+            shape,
+            dtype,
+            data: vec![v; numel],
+        }
+    }
+
+    /// Builds a tensor from existing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != shape.numel()`.
+    pub fn from_vec(shape: impl Into<Shape>, dtype: DType, mut data: Vec<f32>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        if dtype == DType::F16 {
+            quantize_f16_slice(&mut data);
+        }
+        Tensor { shape, dtype, data }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor's storage precision.
+    #[inline]
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size of the tensor's storage in bytes at its precision.
+    #[inline]
+    pub fn storage_bytes(&self) -> usize {
+        self.numel() * self.dtype.size_bytes()
+    }
+
+    /// Read-only view of the data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the data.
+    ///
+    /// Callers writing to an FP16 tensor must re-quantize afterwards (see
+    /// [`Tensor::requantize`]); the op kernels in [`crate::ops`] do this
+    /// automatically.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its backing buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access by multi-dimensional index.
+    #[inline]
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Element write by multi-dimensional index (quantized if FP16).
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let off = self.shape.offset(idx);
+        self.data[off] = match self.dtype {
+            DType::F32 => value,
+            DType::F16 => quantize_f16(value),
+        };
+    }
+
+    /// Rounds every element through the tensor's storage precision.
+    ///
+    /// A no-op for FP32 tensors.
+    pub fn requantize(&mut self) {
+        if self.dtype == DType::F16 {
+            quantize_f16_slice(&mut self.data);
+        }
+    }
+
+    /// Casts to another precision, recording a type-conversion kernel in the
+    /// census (these are the "Type Conversions" rows of Figures 3/8/9).
+    pub fn cast(&self, dtype: DType) -> Tensor {
+        if dtype == self.dtype {
+            return self.clone();
+        }
+        profile::record(
+            KernelKind::TypeConversion,
+            "cast",
+            0,
+            self.storage_bytes() as u64,
+            (self.numel() * dtype.size_bytes()) as u64,
+        );
+        Tensor::from_vec(self.shape.clone(), dtype, self.data.clone())
+    }
+
+    /// Returns a copy with a new shape sharing the same element count.
+    ///
+    /// # Panics
+    /// Panics if element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.numel(),
+            self.numel(),
+            "cannot reshape {} to {shape}",
+            self.shape
+        );
+        Tensor {
+            shape,
+            dtype: self.dtype,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Sum of all elements (f32 accumulation).
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute element, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// L2 norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// True if any element is non-finite (the FP16 overflow detector used by
+    /// the weighted-loss stability study).
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Fills with zeros in place.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// `self += other` elementwise (quantized if FP16).
+    ///
+    /// # Panics
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+        self.requantize();
+    }
+
+    /// `self *= scalar` elementwise (quantized if FP16).
+    pub fn scale(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+        self.requantize();
+    }
+
+    /// An FNV-1a hash of the raw bits, used by the distributed trainer to
+    /// assert that all data-parallel replicas hold identical parameters
+    /// after synchronous updates.
+    pub fn bit_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for x in &self.data {
+            for b in x.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut t = Tensor::zeros([2, 3], DType::F32);
+        assert_eq!(t.numel(), 6);
+        t.set(&[1, 2], 7.5);
+        assert_eq!(t.at(&[1, 2]), 7.5);
+        assert_eq!(t.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn f16_tensor_quantizes_on_write() {
+        let mut t = Tensor::zeros([4], DType::F16);
+        t.set(&[0], 2049.0); // not representable; spacing is 2 at that magnitude
+        assert_eq!(t.at(&[0]), 2048.0);
+        t.set(&[1], 1.0e6); // overflows to +inf
+        assert!(t.at(&[1]).is_infinite());
+        assert!(t.has_non_finite());
+    }
+
+    #[test]
+    fn from_vec_quantizes_f16() {
+        let t = Tensor::from_vec([2], DType::F16, vec![1.0, 1.0 + 2.0f32.powi(-12)]);
+        assert_eq!(t.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], DType::F32, (0..6).map(|i| i as f32).collect());
+        let r = t.reshape([3, 2]);
+        assert_eq!(r.at(&[2, 1]), 5.0);
+        assert_eq!(r.shape().dims(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_wrong_numel_panics() {
+        Tensor::zeros([2, 3], DType::F32).reshape([7]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec([4], DType::F32, vec![1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(t.sum(), -2.0);
+        assert_eq!(t.mean(), -0.5);
+        assert_eq!(t.max_abs(), 4.0);
+        assert!((t.l2_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bit_hash_detects_divergence() {
+        let a = Tensor::from_vec([3], DType::F32, vec![1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        assert_eq!(a.bit_hash(), b.bit_hash());
+        b.set(&[2], 3.0000002);
+        assert_ne!(a.bit_hash(), b.bit_hash());
+    }
+
+    #[test]
+    fn storage_bytes_respects_dtype() {
+        assert_eq!(Tensor::zeros([10], DType::F32).storage_bytes(), 40);
+        assert_eq!(Tensor::zeros([10], DType::F16).storage_bytes(), 20);
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let t = Tensor::from_vec([3], DType::F32, vec![1.0, 2.5, -0.125]);
+        let h = t.cast(DType::F16);
+        assert_eq!(h.dtype(), DType::F16);
+        let back = h.cast(DType::F32);
+        assert_eq!(back.as_slice(), t.as_slice()); // all values f16-exact
+    }
+}

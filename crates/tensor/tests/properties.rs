@@ -1,0 +1,157 @@
+//! Property-based tests for the tensor substrate.
+
+use exaclim_tensor::half::{quantize_f16, F16};
+use exaclim_tensor::ops::{self, Conv2dParams, ConvAlgo};
+use exaclim_tensor::{DType, Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        (-100.0f32..100.0),
+        (-1.0e-3f32..1.0e-3),
+        Just(0.0f32),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// f16 → f32 → f16 is the identity on the bit level (for non-NaN).
+    #[test]
+    fn f16_roundtrip_is_identity(bits in 0u16..0x7c00u16) {
+        // All positive finite half values.
+        let h = F16(bits);
+        let back = F16::from_f32(h.to_f32());
+        prop_assert_eq!(h.0, back.0);
+    }
+
+    /// Quantization is idempotent and monotone.
+    #[test]
+    fn f16_quantization_idempotent_monotone(a in small_f32(), b in small_f32()) {
+        let qa = quantize_f16(a);
+        prop_assert_eq!(qa, quantize_f16(qa), "idempotent");
+        if a <= b {
+            prop_assert!(quantize_f16(a) <= quantize_f16(b), "monotone: {} {}", a, b);
+        }
+    }
+
+    /// Quantization error is within half an ULP (2^-11 relative for
+    /// normal values).
+    #[test]
+    fn f16_error_bound(a in -60000.0f32..60000.0) {
+        let q = quantize_f16(a);
+        let err = (q - a).abs();
+        let bound = (a.abs() * 4.9e-4).max(3.0e-8);
+        prop_assert!(err <= bound, "a={a}, q={q}, err={err}");
+    }
+
+    /// Row-major offsets form a bijection onto 0..numel.
+    #[test]
+    fn shape_offsets_are_bijective(d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5) {
+        let s = Shape::new(&[d0, d1, d2]);
+        let mut seen = vec![false; s.numel()];
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    let off = s.offset(&[i, j, k]);
+                    prop_assert!(!seen[off], "offset collision at {off}");
+                    seen[off] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Convolution is linear: conv(αx, w) == α·conv(x, w).
+    #[test]
+    fn conv_is_linear_in_input(alpha in -3.0f32..3.0, seed in 0u64..1000) {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let x = exaclim_tensor::init::randn([1, 2, 5, 5], DType::F32, 1.0, &mut rng);
+        let w = exaclim_tensor::init::randn([3, 2, 3, 3], DType::F32, 0.5, &mut rng);
+        let y1 = ops::conv2d_forward(&x, &w, Conv2dParams::padded(1), ConvAlgo::Direct);
+        let mut ax = x.clone();
+        ax.scale(alpha);
+        let y2 = ops::conv2d_forward(&ax, &w, Conv2dParams::padded(1), ConvAlgo::Direct);
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((a * alpha - b).abs() < 1e-3 * (1.0 + b.abs()), "{} vs {}", a * alpha, b);
+        }
+    }
+
+    /// Direct and im2col lowerings agree for random geometry.
+    #[test]
+    fn conv_lowerings_agree(
+        seed in 0u64..500,
+        stride in 1usize..3,
+        pad in 0usize..3,
+        dilation in 1usize..3,
+        kernel in prop::sample::select(vec![1usize, 3]),
+    ) {
+        let (h, w) = (9usize, 8usize);
+        let eff = dilation * (kernel - 1) + 1;
+        prop_assume!(h + 2 * pad >= eff && w + 2 * pad >= eff);
+        let p = Conv2dParams { stride, pad, dilation };
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let x = exaclim_tensor::init::randn([2, 3, h, w], DType::F32, 1.0, &mut rng);
+        let wt = exaclim_tensor::init::randn([4, 3, kernel, kernel], DType::F32, 0.5, &mut rng);
+        let a = ops::conv2d_forward(&x, &wt, p, ConvAlgo::Direct);
+        let b = ops::conv2d_forward(&x, &wt, p, ConvAlgo::Im2colGemm);
+        prop_assert_eq!(a.shape().dims(), b.shape().dims());
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-3, "{} vs {}", u, v);
+        }
+    }
+
+    /// concat ∘ split is the identity for arbitrary channel partitions.
+    #[test]
+    fn concat_split_roundtrip(c1 in 1usize..4, c2 in 1usize..4, c3 in 1usize..4, seed in 0u64..100) {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let total = c1 + c2 + c3;
+        let x = exaclim_tensor::init::randn([2, total, 3, 4], DType::F32, 1.0, &mut rng);
+        let parts = ops::split_channels(&x, &[c1, c2, c3]);
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let back = ops::concat_channels(&refs);
+        prop_assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    /// Softmax outputs are a probability distribution per pixel.
+    #[test]
+    fn softmax_is_a_distribution(seed in 0u64..200) {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let x = exaclim_tensor::init::randn([1, 4, 3, 3], DType::F32, 5.0, &mut rng);
+        let y = ops::softmax_channels(&x);
+        for p in 0..9 {
+            let mut total = 0.0f32;
+            for c in 0..4 {
+                let v = y.as_slice()[c * 9 + p];
+                prop_assert!((0.0..=1.0).contains(&v));
+                total += v;
+            }
+            prop_assert!((total - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// maxpool backward routes exactly the incoming gradient mass.
+    #[test]
+    fn maxpool_gradient_mass_conserved(seed in 0u64..200) {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let x = exaclim_tensor::init::randn([1, 2, 6, 6], DType::F32, 1.0, &mut rng);
+        let (y, arg) = ops::maxpool2d_forward(&x, 2, 2, 0);
+        let g = exaclim_tensor::init::randn(y.shape().clone(), DType::F32, 1.0, &mut rng);
+        let gx = ops::maxpool2d_backward(&x, &g, &arg);
+        prop_assert!((gx.sum() - g.sum()).abs() < 1e-3);
+    }
+
+    /// Bitwise hash is stable and sensitive to single-element changes.
+    #[test]
+    fn bit_hash_detects_any_change(seed in 0u64..100, idx in 0usize..24) {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let x = exaclim_tensor::init::randn([24], DType::F32, 1.0, &mut rng);
+        let h1 = x.bit_hash();
+        let mut y = x.clone();
+        let old = y.as_slice()[idx];
+        y.as_mut_slice()[idx] = old + 1.0;
+        prop_assert_ne!(h1, y.bit_hash());
+        let z = x.clone();
+        prop_assert_eq!(h1, z.bit_hash());
+    }
+}

@@ -1,0 +1,84 @@
+//! Climate segmentation study: train Tiramisu and DeepLabv3+ on synthetic
+//! CAM5 data, compare IoU (§VII-D reports 59 % vs 73 %), and render
+//! Figure 7-style masks.
+//!
+//! ```text
+//! cargo run --release --example climate_segmentation -- [steps]
+//! ```
+//!
+//! Default 60 steps per network (a couple of minutes); pass a larger step
+//! count for better masks.
+
+use exaclim_core::experiment::{run_experiment, ExperimentConfig, ModelKind};
+use exaclim_core::viz::{ascii_compare, write_mask_ppm};
+use exaclim_core::prelude::*;
+use exaclim_nn::metrics::argmax_channels;
+use exaclim_nn::loss::Labels;
+
+fn main() {
+    let steps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let out_dir = std::path::Path::new("out");
+    std::fs::create_dir_all(out_dir).expect("create out/");
+
+    let mut results = Vec::new();
+    for kind in [ModelKind::Tiramisu, ModelKind::DeepLab] {
+        let name = match kind {
+            ModelKind::Tiramisu => "Tiramisu",
+            ModelKind::DeepLab => "DeepLabv3+",
+        };
+        println!("=== training {name} for {steps} steps on 2 ranks ===");
+        let cfg = ExperimentConfig::study(kind, 2, steps);
+        let mut result = run_experiment(&cfg).expect("experiment");
+        let first = result.report.steps.first().map(|s| s.mean_loss).unwrap_or(0.0);
+        let last = result.report.steps.last().map(|s| s.mean_loss).unwrap_or(0.0);
+        println!("  loss {first:.4} → {last:.4}, consistent: {}", result.report.consistent);
+        println!(
+            "  mean IoU {:.1}%  (BG {:.1}%, TC {}, AR {})",
+            100.0 * result.validation.mean_iou,
+            100.0 * result.validation.class_iou[0].unwrap_or(0.0),
+            result.validation.class_iou[1]
+                .map(|v| format!("{:.1}%", 100.0 * v))
+                .unwrap_or_else(|| "absent".into()),
+            result.validation.class_iou[2]
+                .map(|v| format!("{:.1}%", 100.0 * v))
+                .unwrap_or_else(|| "absent".into()),
+        );
+
+        // Render one validation sample: truth vs prediction (Fig 7).
+        let ds = result.dataset.clone();
+        let idx = ds.indices(Split::Validation)[0];
+        let stored = ds.sample(idx).expect("sample");
+        let (h, w) = (ds.h, ds.w);
+        let mut ctx = Ctx::eval();
+        let mut data = Vec::new();
+        for c in 0..16 {
+            for &v in &stored.fields[c * h * w..(c + 1) * h * w] {
+                data.push(result.stats.normalize(c, v));
+            }
+        }
+        let input = Tensor::from_vec([1, 16, h, w], DType::F32, data);
+        let logits = result.model.forward(&input, &mut ctx);
+        let pred = argmax_channels(&logits);
+        let tmq = &stored.fields[0..h * w];
+        let slug = name.replace('+', "p");
+        write_mask_ppm(out_dir.join(format!("{slug}_truth.ppm")), tmq, &stored.labels, h, w)
+            .expect("write truth ppm");
+        write_mask_ppm(out_dir.join(format!("{slug}_pred.ppm")), tmq, &pred.data, h, w)
+            .expect("write pred ppm");
+        let truth = Labels::new(1, h, w, stored.labels);
+        println!("  prediction vs labels (T/A = correct, t/a = extra, x = missed):");
+        for line in ascii_compare(&pred.data, &truth.data, h, w).lines().take(18) {
+            println!("    {line}");
+        }
+        results.push((name, result.validation.mean_iou));
+    }
+
+    println!("\n=== summary (paper: Tiramisu 59 %, DeepLabv3+ 73 %) ===");
+    for (name, iou) in &results {
+        println!("  {name:<12} mean IoU {:.1}%", 100.0 * iou);
+    }
+    println!("masks written to out/*.ppm");
+}

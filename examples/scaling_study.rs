@@ -1,0 +1,65 @@
+//! Weak-scaling study (Figures 4 and 5): sweep simulated Summit and
+//! Piz Daint from 1 node to full machine for both networks and precisions.
+//!
+//! ```text
+//! cargo run --release --example scaling_study [-- --full]
+//! ```
+//!
+//! Without `--full` the sweep stops at 256 nodes for speed.
+
+use exaclim_core::hpcsim::gpu::Precision;
+use exaclim_core::hpcsim::MachineSpec;
+use exaclim_core::models::{DeepLabConfig, TiramisuConfig};
+use exaclim_core::perfmodel::{fig4_series, fig5_series};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (summit_max, daint_max) = if full { (4560, 5300) } else { (256, 256) };
+    let steps = 14;
+
+    let tiramisu = TiramisuConfig::paper_modified(16).spec(768, 1152);
+    let deeplab = DeepLabConfig::paper().spec(768, 1152);
+
+    println!("=== Figure 4a: Tiramisu weak scaling ===\n");
+    for (machine, max, precision) in [
+        (MachineSpec::piz_daint(), daint_max, Precision::FP32),
+        (MachineSpec::summit(), summit_max, Precision::FP32),
+        (MachineSpec::summit(), summit_max, Precision::FP16),
+    ] {
+        let s = fig4_series("Tiramisu", &tiramisu, machine, precision, true, max, steps, 11);
+        println!("{}", s.render());
+    }
+
+    println!("=== Figure 4b: DeepLabv3+ weak scaling ===\n");
+    for (precision, lag) in [
+        (Precision::FP32, true),
+        (Precision::FP16, false),
+        (Precision::FP16, true),
+    ] {
+        let s = fig4_series(
+            "DeepLabv3+",
+            &deeplab,
+            MachineSpec::summit(),
+            precision,
+            lag,
+            summit_max,
+            steps,
+            13,
+        );
+        println!("{}", s.render());
+    }
+
+    println!("=== Figure 5: Piz Daint input staging vs global Lustre ===\n");
+    let (staged, global) = fig5_series(&tiramisu, daint_max.min(2048), steps, 17);
+    println!("{}", staged.render());
+    println!("{}", global.render());
+    let pen = 100.0 * (1.0 - global.last().parallel_efficiency / staged.last().parallel_efficiency);
+    println!(
+        "efficiency penalty for global storage at {} GPUs: {:.1}% (paper: 9.5% at 2048)",
+        global.last().gpus,
+        pen
+    );
+    if !full {
+        println!("\n(ran the reduced sweep; use --full for the full-machine figures)");
+    }
+}

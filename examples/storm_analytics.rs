@@ -1,0 +1,68 @@
+//! Storm analytics (§VIII-A): the downstream science the segmentation
+//! masks unlock — per-storm conditional precipitation, wind profiles and
+//! power dissipation, instead of coarse global counts.
+//!
+//! ```text
+//! cargo run --release --example storm_analytics [-- n_samples]
+//! ```
+
+use exaclim_core::climsim::fields::{FieldGenerator, GeneratorConfig};
+use exaclim_core::climsim::label::{heuristic_labels, LabelerConfig};
+use exaclim_core::climsim::storms::{analyze_storms, summarize};
+use exaclim_core::climsim::{channel_index, classes};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let generator = FieldGenerator::new(GeneratorConfig::small(2024));
+    let labeler = LabelerConfig::default();
+
+    println!("=== per-storm analytics over {n} synthetic CAM5 snapshots ===\n");
+    let mut tc_total = 0usize;
+    let mut ar_total = 0usize;
+    let mut pdi_total = 0.0f64;
+    for i in 0..n {
+        let sample = generator.generate(i);
+        let mask = heuristic_labels(&sample, &labeler);
+        let storms = analyze_storms(&sample, &mask, 4);
+        let summary = summarize(&storms);
+        tc_total += summary.tc_count;
+        ar_total += summary.ar_count;
+        pdi_total += summary.total_tc_pdi;
+
+        println!(
+            "snapshot {i}: {} TCs, {} ARs (heuristic labels)",
+            summary.tc_count, summary.ar_count
+        );
+        for (k, storm) in storms.iter().enumerate() {
+            let kind = if storm.class == classes::TC { "TC" } else { "AR" };
+            println!(
+                "  {kind}{k}: area {:>4} px ({:.2}% of globe) at {:>6.1}°lat | \
+                 max wind {:>5.1} m/s | min SLP {:>7.0} Pa | cond. precip {:.2e} | PDI {:.2e}",
+                storm.area,
+                100.0 * storm.area_fraction,
+                storm.latitude,
+                storm.max_wind,
+                storm.min_pressure,
+                storm.mean_precip,
+                storm.power_dissipation
+            );
+        }
+        // Conditional precipitation vs global mean — §VIII-A's example
+        // metric.
+        let prect = sample.channel(channel_index("PRECT").expect("PRECT"));
+        let global = prect.iter().map(|&v| v as f64).sum::<f64>() / prect.len() as f64;
+        println!(
+            "  conditional/global precipitation ratio: {:.1}×\n",
+            summary.mean_conditional_precip / global
+        );
+    }
+
+    println!("=== season summary (the old-style coarse statistics, plus PDI) ===");
+    println!("  total TCs: {tc_total}   total ARs: {ar_total}");
+    println!("  accumulated TC power dissipation index: {pdi_total:.3e}");
+    println!("\nBefore this work climate scientists reported only storm counts;");
+    println!("pixel masks make every per-storm metric above computable (§VIII-A).");
+}

@@ -1,0 +1,157 @@
+//! Integration: the outlook features (§VIII) and robustness extensions —
+//! checkpointing, deep gradient lag, AMP, spatial model parallelism and
+//! storm analytics — on the full stack.
+
+use exaclim_core::experiment::{evaluate_model, run_experiment, ExperimentConfig, ModelKind};
+use exaclim_core::prelude::*;
+use exaclim_nn::checkpoint;
+
+#[test]
+fn checkpoint_roundtrip_preserves_evaluation() {
+    let mut cfg = ExperimentConfig::quick(ModelKind::Tiramisu);
+    cfg.trainer.steps = 6;
+    let mut result = run_experiment(&cfg).expect("train");
+    let path = std::env::temp_dir().join(format!("exaclim_ext_ckpt_{}.exck", std::process::id()));
+    // Full state = params + batch-norm running stats: required for exact
+    // eval-mode restoration.
+    checkpoint::save(&checkpoint::full_state(result.model.as_ref()), &path).expect("save");
+
+    // Fresh, differently-seeded model: restore must make it identical.
+    let mut other_cfg = cfg.clone();
+    other_cfg.trainer.steps = 0;
+    other_cfg.trainer.seed = 999; // different init
+    let mut fresh = run_experiment(&other_cfg).expect("fresh");
+    assert_ne!(
+        checkpoint::full_state(fresh.model.as_ref()).state_hash(),
+        checkpoint::full_state(result.model.as_ref()).state_hash()
+    );
+    checkpoint::load_into(&checkpoint::full_state(fresh.model.as_ref()), &path).expect("load");
+    assert_eq!(
+        checkpoint::full_state(fresh.model.as_ref()).state_hash(),
+        checkpoint::full_state(result.model.as_ref()).state_hash(),
+        "restored replica (incl. BN buffers) must be bitwise identical"
+    );
+
+    // And evaluation must agree exactly.
+    let a = evaluate_model(
+        result.model.as_mut(),
+        &result.dataset,
+        Split::Validation,
+        &result.stats,
+        &cfg.channels,
+        DType::F32,
+    )
+    .expect("eval a");
+    let b = evaluate_model(
+        fresh.model.as_mut(),
+        &result.dataset,
+        Split::Validation,
+        &result.stats,
+        &cfg.channels,
+        DType::F32,
+    )
+    .expect("eval b");
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(a.mean_iou, b.mean_iou);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn deep_gradient_lag_trains_consistently() {
+    // EASGD-style lag 3 (§V-B4's citation) through the whole trainer.
+    let mut cfg = ExperimentConfig::quick(ModelKind::Tiramisu);
+    cfg.trainer.steps = 10;
+    cfg.trainer.gradient_lag = true;
+    cfg.trainer.lag_depth = 3;
+    let result = run_experiment(&cfg).expect("experiment");
+    assert!(result.report.consistent);
+    assert!(!result.report.diverged);
+    // The first lag_depth steps apply no update, so early losses repeat the
+    // same model; afterwards learning proceeds.
+    let first = result.report.steps[4].mean_loss;
+    let last = result.report.steps.last().expect("steps").mean_loss;
+    assert!(last < first * 1.3, "lag-3 training must not explode: {first} → {last}");
+}
+
+#[test]
+fn spatial_model_parallelism_composes_with_real_weights() {
+    // Take a trained conv layer's weights and verify the §VIII-B spatial
+    // decomposition reproduces its output on real (non-random) weights.
+    use exaclim_comm::CommWorld;
+    use exaclim_distrib::modelpar::{conv2d_forward_spatial, join_rows, split_rows};
+    use exaclim_tensor::init::{randn, seeded_rng};
+    use exaclim_tensor::ops::{conv2d_forward, Conv2dParams, ConvAlgo};
+
+    let mut cfg = ExperimentConfig::quick(ModelKind::Tiramisu);
+    cfg.trainer.steps = 3;
+    let result = run_experiment(&cfg).expect("train");
+    // First conv weight of the trained model ("stem.weight").
+    let w = result
+        .model
+        .params()
+        .get("stem.weight")
+        .expect("stem weight")
+        .value();
+    let (_, in_ch, k, _) = w.shape().nchw();
+    let mut rng = seeded_rng(5);
+    let x = randn([1, in_ch, 16, 12], DType::F32, 1.0, &mut rng);
+    let p = Conv2dParams::padded(k / 2);
+    let reference = conv2d_forward(&x, &w, p, ConvAlgo::Direct);
+
+    let stripes = split_rows(&x, 2);
+    let comms = CommWorld::new(2);
+    let outs: Vec<_> = std::thread::scope(|scope| {
+        comms
+            .into_iter()
+            .zip(stripes)
+            .map(|(mut comm, stripe)| {
+                let w = w.clone();
+                scope.spawn(move || conv2d_forward_spatial(&mut comm, &[0, 1], &stripe, &w, p))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("rank"))
+            .collect()
+    });
+    let stitched = join_rows(&outs);
+    assert_eq!(stitched.as_slice(), reference.as_slice());
+}
+
+#[test]
+fn storm_analytics_works_on_network_predictions() {
+    use exaclim_core::climsim::storms::{analyze_storms, summarize};
+    use exaclim_core::climsim::FieldGenerator;
+    use exaclim_nn::metrics::argmax_channels;
+
+    let cfg = ExperimentConfig::study(ModelKind::DeepLab, 2, 40);
+    let mut result = run_experiment(&cfg).expect("train");
+    let generator = FieldGenerator::new(cfg.dataset.generator.clone());
+    // Regenerate a validation sample to get its full ClimateSample fields.
+    let idx = result.dataset.indices(Split::Validation)[0];
+    let sample = generator.generate(idx as u64);
+    let (h, w) = (result.dataset.h, result.dataset.w);
+    let mut data = Vec::new();
+    for c in 0..16 {
+        for &v in &sample.data[c * h * w..(c + 1) * h * w] {
+            data.push(result.stats.normalize(c, v));
+        }
+    }
+    let input = Tensor::from_vec([1, 16, h, w], DType::F32, data);
+    let mut ctx = Ctx::eval();
+    let logits = result.model.forward(&input, &mut ctx);
+    let pred = argmax_channels(&logits);
+    // The analytics pipeline must run on *predicted* masks (the §VIII-A
+    // use case) without panicking, and produce in-range statistics.
+    let storms = analyze_storms(&sample, &pred.data, 4);
+    let summary = summarize(&storms);
+    for s in &storms {
+        assert!(s.area >= 4);
+        assert!(s.latitude.abs() <= 90.0);
+        assert!(s.max_wind.is_finite());
+    }
+    // Not asserting exact counts: a 40-step network is noisy. The truth
+    // mask must be analyzable too.
+    let truth = summarize(&analyze_storms(&sample, &sample.true_mask, 4));
+    assert!(truth.tc_count + truth.ar_count >= 1);
+    let _ = summary;
+}

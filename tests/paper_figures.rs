@@ -1,0 +1,104 @@
+//! Integration: every figure/table generator produces output with the
+//! paper's qualitative shape (who wins, by roughly what factor, where the
+//! crossovers fall).
+
+use exaclim_hpcsim::gpu::{GpuModel, Precision};
+use exaclim_hpcsim::MachineSpec;
+use exaclim_models::{DeepLabConfig, TiramisuConfig};
+use exaclim_perfmodel::census::census_from_spec;
+use exaclim_perfmodel::report::fig3_table;
+use exaclim_perfmodel::{fig2_row, fig4_series, fig5_series};
+use exaclim_staging::{simulate_distributed_staging, simulate_naive_staging, StagingConfig};
+
+#[test]
+fn fig2_shape_holds() {
+    let ti = TiramisuConfig::paper_modified(16).spec(768, 1152);
+    let dl = DeepLabConfig::paper().spec(768, 1152);
+    let v100 = GpuModel::v100();
+    // Operation-count ordering: DeepLab ≈ 3.4× Tiramisu (14.41 vs 4.188).
+    let ratio = dl.training_flops() as f64 / ti.training_flops() as f64;
+    assert!(ratio > 2.0 && ratio < 5.5, "TF/sample ratio {ratio} (paper 3.44)");
+    // %peak ordering, FP32: DeepLab > Tiramisu (80 % vs 51 %).
+    let dl32 = fig2_row("dl", &dl, &v100, Precision::FP32);
+    let ti32 = fig2_row("ti", &ti, &v100, Precision::FP32);
+    assert!(dl32.percent_peak > ti32.percent_peak);
+    // FP16 %peak drops for both (31 % vs 80 %; 17 % vs 51 %).
+    let dl16 = fig2_row("dl", &dl, &v100, Precision::FP16);
+    let ti16 = fig2_row("ti", &ti, &v100, Precision::FP16);
+    assert!(dl16.percent_peak < dl32.percent_peak);
+    assert!(ti16.percent_peak < ti32.percent_peak);
+    // And Tiramisu FP16 is the least efficient of all (memory-bound).
+    assert!(ti16.percent_peak < dl16.percent_peak);
+}
+
+#[test]
+fn fig3_tiramisu_fp16_convs_are_memory_bound() {
+    // §VII-A: "the Tiramisu network's convolution kernels become memory
+    // limited when using FP16 ... a fundamental limitation of the
+    // Tiramisu-style network due to its small filter sizes".
+    let ti = TiramisuConfig::paper_modified(16).spec(768, 1152);
+    let v100 = GpuModel::v100();
+    let rows16 = fig3_table(&census_from_spec(&ti, Precision::FP16), &v100, Precision::FP16);
+    let fwd = rows16
+        .iter()
+        .find(|r| r.category == exaclim_hpcsim::gpu::WorkCategory::ForwardConv)
+        .expect("fwd conv row");
+    assert!(
+        fwd.percent_mem > fwd.percent_math,
+        "FP16 Tiramisu conv must be memory-bound: mem {}% vs math {}%",
+        fwd.percent_mem,
+        fwd.percent_math
+    );
+    // DeepLab FP32 convs are math-bound instead.
+    let dl = DeepLabConfig::paper().spec(768, 1152);
+    let rows32 = fig3_table(&census_from_spec(&dl, Precision::FP32), &v100, Precision::FP32);
+    let fwd_dl = rows32
+        .iter()
+        .find(|r| r.category == exaclim_hpcsim::gpu::WorkCategory::ForwardConv)
+        .expect("fwd conv row");
+    assert!(fwd_dl.percent_math > fwd_dl.percent_mem);
+}
+
+#[test]
+fn fig4_lag1_beats_lag0_and_scales_to_900_plus_petaflops() {
+    let dl = DeepLabConfig::paper().spec(768, 1152);
+    let lag1 = fig4_series("DeepLabv3+", &dl, MachineSpec::summit(), Precision::FP16, true, 4560, 10, 2);
+    let lag0 = fig4_series("DeepLabv3+", &dl, MachineSpec::summit(), Precision::FP16, false, 4560, 10, 2);
+    assert!(lag1.last().images_per_sec >= lag0.last().images_per_sec * 0.99);
+    let pf = lag1.last().sustained_flops / 1e15;
+    assert!(pf > 400.0, "sustained {pf} PF/s at full Summit (paper: 999)");
+    assert!(lag1.last().parallel_efficiency > 0.85);
+    // FP32 sustains less raw FLOP/s than FP16.
+    let fp32 = fig4_series("DeepLabv3+", &dl, MachineSpec::summit(), Precision::FP32, true, 4560, 10, 2);
+    assert!(fp32.last().sustained_flops < lag1.last().sustained_flops);
+}
+
+#[test]
+fn fig5_crossover_location() {
+    let ti = TiramisuConfig::paper_modified(16).spec(768, 1152);
+    let (staged, global) = fig5_series(&ti, 2048, 16, 4);
+    // Matching at the smallest point, diverging at the largest.
+    let first_ratio = global.points[0].images_per_sec / staged.points[0].images_per_sec;
+    let last_ratio = global.last().images_per_sec / staged.last().images_per_sec;
+    assert!(first_ratio > 0.95, "small scale matches: {first_ratio}");
+    assert!(last_ratio < first_ratio - 0.03, "gap must open with scale");
+}
+
+#[test]
+fn staging_times_match_section_va1() {
+    let naive = simulate_naive_staging(&StagingConfig::summit(1024));
+    let dist = simulate_distributed_staging(&StagingConfig::summit(1024));
+    assert!(naive.total_time > 600.0, "naive {} s (paper: 10-20 min)", naive.total_time);
+    assert!(dist.total_time < 180.0, "distributed {} s (paper: <3 min)", dist.total_time);
+    assert!(naive.total_time / dist.total_time > 5.0);
+}
+
+#[test]
+fn summit_fp16_peak_is_exascale() {
+    // §I: peak 1.13 EF/s on 27360 V100s means >40% of the 3.42 EF/s
+    // tensor-core peak; our machine model must make that possible.
+    let m = MachineSpec::summit();
+    let peak_27360 = 27360.0 * m.gpu.peak(Precision::FP16);
+    assert!(peak_27360 > 3.0e18);
+    assert!(1.13e18 / peak_27360 < 0.5, "paper's peak is a plausible fraction");
+}
