@@ -1,0 +1,92 @@
+//! Fault-injection sweep: how much do node deaths, stragglers, and lossy
+//! links cost the §V-A1 distributed staging protocol at scale?
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin fault_injection
+//! ```
+
+use exaclim_faults::{ChaosConfig, FaultPlan, LinkFault};
+use exaclim_staging::{simulate_distributed_staging_faulty, StagingConfig};
+
+fn main() {
+    let nodes = 1024;
+    let cfg = StagingConfig::summit(nodes);
+    let healthy = simulate_distributed_staging_faulty(&cfg, &FaultPlan::none());
+    println!("=== staging at {nodes} Summit nodes, healthy baseline ===");
+    println!(
+        "time {:.1} s, {:.2} reads/file, {:.1} TB over IB",
+        healthy.total_time,
+        healthy.fs_reads_per_file,
+        healthy.network_bytes / 1e12
+    );
+
+    println!("\n=== one node death at time t (recovery via reassignment) ===");
+    println!(
+        "{:>8} {:>12} {:>10} {:>12} {:>9}",
+        "t (s)", "time (s)", "overhead", "reassigned", "retries"
+    );
+    for t in [0.5, 2.0, 8.0, 30.0, 90.0] {
+        let plan = FaultPlan::seeded(1).with_crash_at_time(17, t);
+        let out = simulate_distributed_staging_faulty(&cfg, &plan);
+        println!(
+            "{t:>8.1} {:>12.1} {:>9.1}% {:>12} {:>9}",
+            out.total_time,
+            100.0 * (out.total_time / healthy.total_time - 1.0),
+            out.reassigned_chunks,
+            out.retries
+        );
+    }
+
+    println!("\n=== one straggler node, factor f slower ===");
+    println!("{:>8} {:>12} {:>10}", "factor", "time (s)", "overhead");
+    for f in [1.5, 2.0, 4.0, 8.0] {
+        let plan = FaultPlan::seeded(2).with_straggler(42, f);
+        let out = simulate_distributed_staging_faulty(&cfg, &plan);
+        println!(
+            "{f:>8.1} {:>12.1} {:>9.1}%",
+            out.total_time,
+            100.0 * (out.total_time / healthy.total_time - 1.0)
+        );
+    }
+
+    println!("\n=== one node's egress links dropping packets ===");
+    println!("{:>8} {:>12} {:>10}", "drop", "time (s)", "overhead");
+    for p in [0.1, 0.25, 0.5, 0.75] {
+        let plan = FaultPlan::seeded(3).with_link_fault(LinkFault {
+            src: Some(7),
+            dst: None,
+            slowdown: 1.0,
+            drop_prob: p,
+        });
+        let out = simulate_distributed_staging_faulty(&cfg, &plan);
+        println!(
+            "{p:>8.2} {:>12.1} {:>9.1}%",
+            out.total_time,
+            100.0 * (out.total_time / healthy.total_time - 1.0)
+        );
+    }
+
+    println!("\n=== seeded random chaos (reproducible: same seed, same run) ===");
+    let chaos = ChaosConfig::default();
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>12}",
+        "seed", "crashes", "time (s)", "overhead", "plan digest"
+    );
+    for seed in 0..6 {
+        let plan = FaultPlan::random(seed, nodes, &chaos);
+        let out = simulate_distributed_staging_faulty(&cfg, &plan);
+        let replay = simulate_distributed_staging_faulty(&cfg, &plan);
+        assert_eq!(
+            out.total_time.to_bits(),
+            replay.total_time.to_bits(),
+            "seeded chaos must replay bit-identically"
+        );
+        println!(
+            "{seed:>6} {:>8} {:>12.1} {:>9.1}% {:>12x}",
+            out.crashed_nodes,
+            out.total_time,
+            100.0 * (out.total_time / healthy.total_time - 1.0),
+            plan.digest()
+        );
+    }
+}

@@ -20,9 +20,20 @@
 //! updates"). Message and byte counters per rank feed the control-plane
 //! analysis.
 
+//!
+//! Every blocking receive carries a deadline (default 30 s, or the
+//! `EXACLIM_RECV_DEADLINE_MS` environment variable), and every failure
+//! mode — timeout, dead peer, payload-type mismatch, protocol-tag
+//! mismatch — is a typed [`CommError`]. The classic API panics with the
+//! formatted diagnosis; `try_*` variants return the error so the
+//! fault-tolerant layers (staging retry, checkpoint-restart training)
+//! can detect a lost rank and recover instead of hanging.
+
+pub mod error;
 pub mod world;
 
-pub use world::{CommStats, CommWorld, Communicator};
+pub use error::CommError;
+pub use world::{CommStats, CommWorld, Communicator, DEFAULT_RECV_DEADLINE};
 
 #[cfg(test)]
 mod tests {
@@ -212,6 +223,109 @@ mod tests {
                 assert_eq!(r, &want, "n = {n}");
             }
         }
+    }
+
+    #[test]
+    fn recv_times_out_with_edge_diagnostics() {
+        use std::time::Duration;
+        let comms = CommWorld::with_deadline(2, Duration::from_millis(50));
+        let mut it = comms.into_iter();
+        let mut c0 = it.next().expect("rank 0");
+        let _c1 = it.next().expect("rank 1"); // alive but silent
+        match c0.try_recv_f32(1, 42) {
+            Err(CommError::Timeout { rank, src, tag, waited }) => {
+                assert_eq!((rank, src, tag), (0, 1, 42));
+                assert_eq!(waited, Duration::from_millis(50));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_peer_is_detected_not_hung() {
+        use std::time::Duration;
+        let comms = CommWorld::with_deadline(2, Duration::from_secs(5));
+        let mut it = comms.into_iter();
+        let mut c0 = it.next().expect("rank 0");
+        drop(it.next()); // rank 1 "crashes"
+        match c0.try_recv_f32(1, 7) {
+            Err(CommError::PeerDead { rank: 0, src: 1 }) => {}
+            other => panic!("expected PeerDead, got {other:?}"),
+        }
+        assert_eq!(c0.dead_peers(), vec![1]);
+        // Sends to the dead peer fail too.
+        match c0.try_send_f32(1, 7, vec![1.0]) {
+            Err(CommError::SendFailed { rank: 0, dst: 1 }) => {}
+            other => panic!("expected SendFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn messages_from_dying_peer_are_drained_before_death_reported() {
+        let comms = CommWorld::new(2);
+        let mut it = comms.into_iter();
+        let mut c0 = it.next().expect("rank 0");
+        let mut c1 = it.next().expect("rank 1");
+        c1.send_f32(0, 3, vec![9.0]);
+        drop(c1);
+        // The in-flight message survives the sender's death…
+        assert_eq!(c0.try_recv_f32(1, 3), Ok(vec![9.0]));
+        // …and only then is the peer reported dead.
+        assert!(matches!(c0.try_recv_f32(1, 4), Err(CommError::PeerDead { .. })));
+    }
+
+    #[test]
+    fn payload_type_mismatch_is_typed() {
+        let comms = CommWorld::new(2);
+        let mut it = comms.into_iter();
+        let mut c0 = it.next().expect("rank 0");
+        let mut c1 = it.next().expect("rank 1");
+        c1.send_bytes(0, 5, vec![1, 2, 3]);
+        match c0.try_recv_f32(1, 5) {
+            Err(CommError::TypeMismatch { rank: 0, src: 1, tag: 5, expected: "f32", got: "bytes" }) => {}
+            other => panic!("expected TypeMismatch, got {other:?}"),
+        }
+        c1.send_f32(0, 6, vec![1.0]);
+        assert!(matches!(
+            c0.try_recv_bytes(1, 6),
+            Err(CommError::TypeMismatch { expected: "bytes", got: "f32", .. })
+        ));
+    }
+
+    #[test]
+    fn tag_mismatch_is_typed() {
+        let comms = CommWorld::new(2);
+        let mut it = comms.into_iter();
+        let mut c0 = it.next().expect("rank 0");
+        let mut c1 = it.next().expect("rank 1");
+        c1.send_f32(0, 10, vec![1.0]);
+        assert!(matches!(
+            c0.try_recv_f32(1, 11),
+            Err(CommError::TagMismatch { expected: 11, got: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn collective_surfaces_peer_death() {
+        use std::time::Duration;
+        // 3-rank ring; rank 2 dies before participating. Both survivors
+        // must get a typed error, not hang.
+        let comms = CommWorld::with_deadline(3, Duration::from_millis(200));
+        let mut it = comms.into_iter();
+        let c0 = it.next().expect("rank 0");
+        let c1 = it.next().expect("rank 1");
+        drop(it.next()); // rank 2 crashes pre-collective
+        let spawn = |mut c: Communicator| {
+            thread::spawn(move || {
+                let mut buf = vec![1.0f32; 8];
+                c.try_allreduce_ring(&mut buf).err()
+            })
+        };
+        let (h0, h1) = (spawn(c0), spawn(c1));
+        let e0 = h0.join().expect("t0").expect("rank 0 must fail");
+        let e1 = h1.join().expect("t1").expect("rank 1 must fail");
+        assert!(e0.is_peer_failure(), "{e0}");
+        assert!(e1.is_peer_failure(), "{e1}");
     }
 
     #[test]

@@ -1,10 +1,20 @@
 //! Communicator implementation: FIFO point-to-point channels plus
 //! deterministic collectives.
+//!
+//! Every blocking receive carries a deadline (default 30 s, or
+//! `EXACLIM_RECV_DEADLINE_MS`), so a lost peer turns a would-be hang
+//! into a typed [`CommError`] naming who waited on whom for which tag.
+//! The original infallible API (`recv_f32`, `allreduce_ring`, …) remains
+//! as thin wrappers that panic with that diagnosis; fault-tolerant
+//! callers use the `try_*` variants and recover.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use crate::error::CommError;
 
 /// One point-to-point message.
 struct Message {
@@ -18,6 +28,30 @@ enum Payload {
     F32(Vec<f32>),
     /// Control-plane bytes.
     Bytes(Vec<u8>),
+}
+
+impl Payload {
+    fn kind(&self) -> &'static str {
+        match self {
+            Payload::F32(_) => "f32",
+            Payload::Bytes(_) => "bytes",
+        }
+    }
+}
+
+/// The receive deadline used when none is configured: generous enough
+/// for any healthy in-process collective, finite so a dead peer can
+/// never hang a test run indefinitely.
+pub const DEFAULT_RECV_DEADLINE: Duration = Duration::from_secs(30);
+
+fn default_recv_deadline() -> Duration {
+    match std::env::var("EXACLIM_RECV_DEADLINE_MS") {
+        Ok(ms) => match ms.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Duration::from_millis(ms),
+            _ => DEFAULT_RECV_DEADLINE,
+        },
+        Err(_) => DEFAULT_RECV_DEADLINE,
+    }
 }
 
 /// Shared per-world counters, indexable by rank.
@@ -65,6 +99,13 @@ impl CommWorld {
     /// thread. (A factory returning the endpoints, not `Self`.)
     #[allow(clippy::new_ret_no_self)]
     pub fn new(n: usize) -> Vec<Communicator> {
+        CommWorld::with_deadline(n, default_recv_deadline())
+    }
+
+    /// Like [`CommWorld::new`] but with an explicit receive deadline —
+    /// fault-tolerant callers use a short one so a dead rank is detected
+    /// in milliseconds rather than the default 30 s.
+    pub fn with_deadline(n: usize, recv_deadline: Duration) -> Vec<Communicator> {
         assert!(n > 0, "world size must be positive");
         // channels[src][dst]
         let mut senders: Vec<Vec<Sender<Message>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
@@ -99,9 +140,11 @@ impl CommWorld {
                 senders: tx,
                 receivers: rx,
                 stashed: (0..n).map(|_| VecDeque::new()).collect(),
+                dead: vec![false; n],
                 stats: stats.clone(),
                 barrier: barrier.clone(),
                 op_seq: 0,
+                recv_deadline,
             })
             .collect()
     }
@@ -117,9 +160,12 @@ pub struct Communicator {
     /// bytes; drained by `recv_msg` before touching the channel so per-peer
     /// FIFO order of tensor messages is preserved.
     stashed: Vec<VecDeque<Message>>,
+    /// Peers whose communicator we have observed to be dropped.
+    dead: Vec<bool>,
     stats: Arc<CommStats>,
     barrier: Arc<Barrier>,
     op_seq: u64,
+    recv_deadline: Duration,
 }
 
 impl Communicator {
@@ -138,7 +184,23 @@ impl Communicator {
         self.stats.clone()
     }
 
-    fn send_msg(&self, dst: usize, tag: u64, payload: Payload) {
+    /// The deadline applied to every blocking receive.
+    pub fn recv_deadline(&self) -> Duration {
+        self.recv_deadline
+    }
+
+    /// Overrides the blocking-receive deadline for this endpoint.
+    pub fn set_recv_deadline(&mut self, deadline: Duration) {
+        assert!(deadline > Duration::ZERO, "receive deadline must be positive");
+        self.recv_deadline = deadline;
+    }
+
+    /// Peers observed dead so far (their communicator was dropped).
+    pub fn dead_peers(&self) -> Vec<usize> {
+        (0..self.size).filter(|&r| self.dead[r]).collect()
+    }
+
+    fn try_send_msg(&self, dst: usize, tag: u64, payload: Payload) -> Result<(), CommError> {
         let bytes = match &payload {
             Payload::F32(v) => v.len() * 4,
             Payload::Bytes(b) => b.len(),
@@ -147,47 +209,106 @@ impl Communicator {
         self.stats.bytes_sent[self.rank].fetch_add(bytes as u64, Ordering::Relaxed);
         self.senders[dst]
             .send(Message { tag, payload })
-            .expect("peer communicator dropped");
+            .map_err(|_| CommError::SendFailed { rank: self.rank, dst })
     }
 
-    fn recv_msg(&mut self, src: usize, tag: u64) -> Payload {
+    fn try_recv_msg(&mut self, src: usize, tag: u64) -> Result<Payload, CommError> {
         let msg = match self.stashed[src].pop_front() {
             Some(m) => m,
-            None => self.receivers[src].recv().expect("peer communicator dropped"),
+            None => {
+                if self.dead[src] && self.receivers[src].is_empty() {
+                    return Err(CommError::PeerDead { rank: self.rank, src });
+                }
+                match self.receivers[src].recv_timeout(self.recv_deadline) {
+                    Ok(m) => m,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.dead[src] = true;
+                        return Err(CommError::PeerDead { rank: self.rank, src });
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        return Err(CommError::Timeout {
+                            rank: self.rank,
+                            src,
+                            tag,
+                            waited: self.recv_deadline,
+                        });
+                    }
+                }
+            }
         };
-        assert_eq!(
-            msg.tag, tag,
-            "rank {} expected tag {tag} from {src}, got {} — collective protocol mismatch",
-            self.rank, msg.tag
-        );
+        if msg.tag != tag {
+            return Err(CommError::TagMismatch {
+                rank: self.rank,
+                src,
+                expected: tag,
+                got: msg.tag,
+            });
+        }
         self.stats.received[self.rank].fetch_add(1, Ordering::Relaxed);
-        msg.payload
+        Ok(msg.payload)
     }
 
     /// Sends a tensor buffer to `dst`.
     pub fn send_f32(&mut self, dst: usize, tag: u64, data: Vec<f32>) {
-        self.send_msg(dst, tag, Payload::F32(data));
+        self.try_send_f32(dst, tag, data)
+            .unwrap_or_else(|e| panic!("send_f32: {e}"));
+    }
+
+    /// Fallible [`Communicator::send_f32`].
+    pub fn try_send_f32(&mut self, dst: usize, tag: u64, data: Vec<f32>) -> Result<(), CommError> {
+        self.try_send_msg(dst, tag, Payload::F32(data))
     }
 
     /// Receives a tensor buffer from `src` (FIFO per peer; tags are
     /// protocol assertions).
     pub fn recv_f32(&mut self, src: usize, tag: u64) -> Vec<f32> {
-        match self.recv_msg(src, tag) {
-            Payload::F32(v) => v,
-            Payload::Bytes(_) => panic!("expected f32 payload"),
+        self.try_recv_f32(src, tag)
+            .unwrap_or_else(|e| panic!("recv_f32: {e}"))
+    }
+
+    /// Fallible [`Communicator::recv_f32`]: a dead peer or an expired
+    /// deadline comes back as a [`CommError`] instead of a hang or panic.
+    pub fn try_recv_f32(&mut self, src: usize, tag: u64) -> Result<Vec<f32>, CommError> {
+        match self.try_recv_msg(src, tag)? {
+            Payload::F32(v) => Ok(v),
+            p @ Payload::Bytes(_) => Err(CommError::TypeMismatch {
+                rank: self.rank,
+                src,
+                tag,
+                expected: "f32",
+                got: p.kind(),
+            }),
         }
     }
 
     /// Sends control bytes to `dst`.
     pub fn send_bytes(&mut self, dst: usize, tag: u64, data: Vec<u8>) {
-        self.send_msg(dst, tag, Payload::Bytes(data));
+        self.try_send_bytes(dst, tag, data)
+            .unwrap_or_else(|e| panic!("send_bytes: {e}"));
+    }
+
+    /// Fallible [`Communicator::send_bytes`].
+    pub fn try_send_bytes(&mut self, dst: usize, tag: u64, data: Vec<u8>) -> Result<(), CommError> {
+        self.try_send_msg(dst, tag, Payload::Bytes(data))
     }
 
     /// Receives control bytes from `src`.
     pub fn recv_bytes(&mut self, src: usize, tag: u64) -> Vec<u8> {
-        match self.recv_msg(src, tag) {
-            Payload::Bytes(b) => b,
-            Payload::F32(_) => panic!("expected byte payload"),
+        self.try_recv_bytes(src, tag)
+            .unwrap_or_else(|e| panic!("recv_bytes: {e}"))
+    }
+
+    /// Fallible [`Communicator::recv_bytes`].
+    pub fn try_recv_bytes(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, CommError> {
+        match self.try_recv_msg(src, tag)? {
+            Payload::Bytes(b) => Ok(b),
+            p @ Payload::F32(_) => Err(CommError::TypeMismatch {
+                rank: self.rank,
+                src,
+                tag,
+                expected: "bytes",
+                got: p.kind(),
+            }),
         }
     }
 
@@ -196,16 +317,24 @@ impl Communicator {
     /// Returns `(src, tag, payload)` if one is waiting. A tensor (f32)
     /// message encountered while polling — a faster peer may already have
     /// begun the next collective — is stashed and later delivered to
-    /// `recv_f32` in original per-peer FIFO order.
+    /// `recv_f32` in original per-peer FIFO order. A peer whose channel
+    /// has disconnected is recorded in [`Communicator::dead_peers`].
     pub fn try_recv_bytes_any(&mut self) -> Option<(usize, u64, Vec<u8>)> {
         for src in 0..self.size {
-            while let Ok(msg) = self.receivers[src].try_recv() {
-                match msg.payload {
-                    Payload::Bytes(b) => {
-                        self.stats.received[self.rank].fetch_add(1, Ordering::Relaxed);
-                        return Some((src, msg.tag, b));
+            loop {
+                match self.receivers[src].try_recv() {
+                    Ok(msg) => match msg.payload {
+                        Payload::Bytes(b) => {
+                            self.stats.received[self.rank].fetch_add(1, Ordering::Relaxed);
+                            return Some((src, msg.tag, b));
+                        }
+                        Payload::F32(_) => self.stashed[src].push_back(msg),
+                    },
+                    Err(TryRecvError::Disconnected) => {
+                        self.dead[src] = true;
+                        break;
                     }
-                    Payload::F32(_) => self.stashed[src].push_back(msg),
+                    Err(TryRecvError::Empty) => break,
                 }
             }
         }
@@ -213,6 +342,10 @@ impl Communicator {
     }
 
     /// Blocks until all ranks arrive.
+    ///
+    /// Uses a plain barrier with no deadline: a world that has lost a
+    /// rank must not call this (fault-tolerant code paths coordinate
+    /// through the deadline-guarded receives instead).
     pub fn barrier(&mut self) {
         self.barrier.wait();
     }
@@ -224,26 +357,44 @@ impl Communicator {
 
     /// Binomial-tree broadcast from `root` (in place).
     pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f32>) {
+        self.try_broadcast(root, buf)
+            .unwrap_or_else(|e| panic!("broadcast: {e}"));
+    }
+
+    /// Fallible [`Communicator::broadcast`].
+    pub fn try_broadcast(&mut self, root: usize, buf: &mut Vec<f32>) -> Result<(), CommError> {
         let tag = self.next_tag();
         let group: Vec<usize> = (0..self.size).collect();
-        self.broadcast_group(&group, root, buf, tag);
+        self.broadcast_group(&group, root, buf, tag)
     }
 
     /// Ring all-reduce (sum) over all ranks — NCCL's systolic algorithm:
     /// a reduce-scatter pass followed by an all-gather pass, 2·(n−1) steps.
     pub fn allreduce_ring(&mut self, buf: &mut [f32]) {
+        self.try_allreduce_ring(buf)
+            .unwrap_or_else(|e| panic!("allreduce_ring: {e}"));
+    }
+
+    /// Fallible [`Communicator::allreduce_ring`].
+    pub fn try_allreduce_ring(&mut self, buf: &mut [f32]) -> Result<(), CommError> {
         let tag = self.next_tag();
         let group: Vec<usize> = (0..self.size).collect();
-        self.ring_allreduce_group(&group, buf, tag);
+        self.ring_allreduce_group(&group, buf, tag)
     }
 
     /// Recursive-doubling all-reduce (sum) — the tree-structured exchange
     /// pattern MPI implementations favour at scale. Non-power-of-two world
     /// sizes fold the excess ranks into partners first.
     pub fn allreduce_rhd(&mut self, buf: &mut [f32]) {
+        self.try_allreduce_rhd(buf)
+            .unwrap_or_else(|e| panic!("allreduce_rhd: {e}"));
+    }
+
+    /// Fallible [`Communicator::allreduce_rhd`].
+    pub fn try_allreduce_rhd(&mut self, buf: &mut [f32]) -> Result<(), CommError> {
         let tag = self.next_tag();
         let group: Vec<usize> = (0..self.size).collect();
-        self.rhd_allreduce_group(&group, buf, tag);
+        self.rhd_allreduce_group(&group, buf, tag)
     }
 
     /// Ring reduce-scatter: after the call, this rank holds the fully
@@ -251,12 +402,18 @@ impl Communicator {
     /// half of the NCCL ring all-reduce; the building block ZeRO-style
     /// sharded optimizers use). Returns `(chunk_index, chunk)`.
     pub fn reduce_scatter_ring(&mut self, buf: &mut [f32]) -> (usize, Vec<f32>) {
+        self.try_reduce_scatter_ring(buf)
+            .unwrap_or_else(|e| panic!("reduce_scatter_ring: {e}"))
+    }
+
+    /// Fallible [`Communicator::reduce_scatter_ring`].
+    pub fn try_reduce_scatter_ring(&mut self, buf: &mut [f32]) -> Result<(usize, Vec<f32>), CommError> {
         let tag = self.next_tag();
         let group: Vec<usize> = (0..self.size).collect();
         let g = group.len();
         let me = self.rank;
         if g == 1 {
-            return (0, buf.to_vec());
+            return Ok((0, buf.to_vec()));
         }
         // Reuse the ring's reduce-scatter phase only.
         let right = (me + 1) % g;
@@ -267,8 +424,8 @@ impl Communicator {
             let send_idx = (me + g - step) % g;
             let recv_idx = (me + g - step - 1) % g;
             let (slo, shi) = bounds(send_idx);
-            self.send_f32(right, tag | (step as u64) << 8, buf[slo..shi].to_vec());
-            let part = self.recv_f32(left, tag | (step as u64) << 8);
+            self.try_send_f32(right, tag | (step as u64) << 8, buf[slo..shi].to_vec())?;
+            let part = self.try_recv_f32(left, tag | (step as u64) << 8)?;
             let (rlo, rhi) = bounds(recv_idx);
             for (a, b) in buf[rlo..rhi].iter_mut().zip(part.iter()) {
                 *a += *b;
@@ -276,13 +433,24 @@ impl Communicator {
         }
         let owned = (me + 1) % g;
         let (lo, hi) = bounds(owned);
-        (owned, buf[lo..hi].to_vec())
+        Ok((owned, buf[lo..hi].to_vec()))
     }
 
     /// Ring all-gather of per-rank chunks produced by
     /// [`Communicator::reduce_scatter_ring`]: every rank ends with the
     /// concatenation of all chunks in chunk-index order.
     pub fn allgather_ring(&mut self, chunk_index: usize, chunk: &[f32], total_len: usize) -> Vec<f32> {
+        self.try_allgather_ring(chunk_index, chunk, total_len)
+            .unwrap_or_else(|e| panic!("allgather_ring: {e}"))
+    }
+
+    /// Fallible [`Communicator::allgather_ring`].
+    pub fn try_allgather_ring(
+        &mut self,
+        chunk_index: usize,
+        chunk: &[f32],
+        total_len: usize,
+    ) -> Result<Vec<f32>, CommError> {
         let tag = self.next_tag();
         let g = self.size;
         let me = self.rank;
@@ -291,7 +459,7 @@ impl Communicator {
         let (lo, hi) = bounds(chunk_index);
         out[lo..hi].copy_from_slice(chunk);
         if g == 1 {
-            return out;
+            return Ok(out);
         }
         let right = (me + 1) % g;
         let left = (me + g - 1) % g;
@@ -299,20 +467,26 @@ impl Communicator {
             let send_idx = (chunk_index + g - step) % g;
             let recv_idx = (chunk_index + g - step - 1) % g;
             let (slo, shi) = bounds(send_idx);
-            self.send_f32(right, tag | (step as u64) << 8, out[slo..shi].to_vec());
-            let part = self.recv_f32(left, tag | (step as u64) << 8);
+            self.try_send_f32(right, tag | (step as u64) << 8, out[slo..shi].to_vec())?;
+            let part = self.try_recv_f32(left, tag | (step as u64) << 8)?;
             let (rlo, rhi) = bounds(recv_idx);
             out[rlo..rhi].copy_from_slice(&part);
         }
-        out
+        Ok(out)
     }
 
     /// Binomial reduce-to-root + broadcast all-reduce.
     pub fn allreduce_tree(&mut self, buf: &mut Vec<f32>) {
+        self.try_allreduce_tree(buf)
+            .unwrap_or_else(|e| panic!("allreduce_tree: {e}"));
+    }
+
+    /// Fallible [`Communicator::allreduce_tree`].
+    pub fn try_allreduce_tree(&mut self, buf: &mut Vec<f32>) -> Result<(), CommError> {
         let tag = self.next_tag();
         let group: Vec<usize> = (0..self.size).collect();
-        self.tree_reduce_group(&group, 0, buf, tag);
-        self.broadcast_group(&group, 0, buf, tag | 1 << 24);
+        self.tree_reduce_group(&group, 0, buf, tag)?;
+        self.broadcast_group(&group, 0, buf, tag | 1 << 24)
     }
 
     /// The paper's hybrid hierarchical all-reduce (§V-A3):
@@ -328,6 +502,17 @@ impl Communicator {
     /// Panics unless `node_size` divides the world size and
     /// `1 ≤ shard_leaders ≤ node_size`.
     pub fn hierarchical_allreduce(&mut self, buf: &mut [f32], node_size: usize, shard_leaders: usize) {
+        self.try_hierarchical_allreduce(buf, node_size, shard_leaders)
+            .unwrap_or_else(|e| panic!("hierarchical_allreduce: {e}"));
+    }
+
+    /// Fallible [`Communicator::hierarchical_allreduce`].
+    pub fn try_hierarchical_allreduce(
+        &mut self,
+        buf: &mut [f32],
+        node_size: usize,
+        shard_leaders: usize,
+    ) -> Result<(), CommError> {
         assert!(node_size >= 1 && self.size.is_multiple_of(node_size), "node_size must divide world size");
         assert!(shard_leaders >= 1 && shard_leaders <= node_size, "invalid shard leader count");
         let seq = self.next_tag();
@@ -337,7 +522,7 @@ impl Communicator {
         let n_nodes = self.size / node_size;
 
         // Phase 1: intra-node ring reduce (all locals end with node sum).
-        self.ring_allreduce_group(&node_group, buf, seq);
+        self.ring_allreduce_group(&node_group, buf, seq)?;
 
         if n_nodes > 1 {
             // Phase 2: shard leaders reduce across nodes.
@@ -346,17 +531,18 @@ impl Communicator {
                 let lo = local * len / shard_leaders;
                 let hi = (local + 1) * len / shard_leaders;
                 let cross_group: Vec<usize> = (0..n_nodes).map(|g| g * node_size + local).collect();
-                self.ring_allreduce_group(&cross_group, &mut buf[lo..hi], seq | 1 << 24);
+                self.ring_allreduce_group(&cross_group, &mut buf[lo..hi], seq | 1 << 24)?;
             }
             // Phase 3: broadcast each shard within the node.
             for leader in 0..shard_leaders {
                 let lo = leader * len / shard_leaders;
                 let hi = (leader + 1) * len / shard_leaders;
                 let mut shard = buf[lo..hi].to_vec();
-                self.broadcast_group(&node_group, node_group[leader], &mut shard, seq | 2 << 24 | (leader as u64) << 16);
+                self.broadcast_group(&node_group, node_group[leader], &mut shard, seq | 2 << 24 | (leader as u64) << 16)?;
                 buf[lo..hi].copy_from_slice(&shard);
             }
         }
+        Ok(())
     }
 
     // --- group primitives (callers pass a group containing self.rank) ----
@@ -368,10 +554,10 @@ impl Communicator {
             .expect("rank must belong to the collective's group")
     }
 
-    fn broadcast_group(&mut self, group: &[usize], root: usize, buf: &mut Vec<f32>, tag: u64) {
+    fn broadcast_group(&mut self, group: &[usize], root: usize, buf: &mut Vec<f32>, tag: u64) -> Result<(), CommError> {
         let g = group.len();
         if g == 1 {
-            return;
+            return Ok(());
         }
         let root_pos = group.iter().position(|&r| r == root).expect("root in group");
         let me = (self.group_pos(group) + g - root_pos) % g; // relative position
@@ -379,20 +565,21 @@ impl Communicator {
         if me != 0 {
             let parent = (me - 1) / 2;
             let src = group[(parent + root_pos) % g];
-            *buf = self.recv_f32(src, tag);
+            *buf = self.try_recv_f32(src, tag)?;
         }
         for child in [2 * me + 1, 2 * me + 2] {
             if child < g {
                 let dst = group[(child + root_pos) % g];
-                self.send_f32(dst, tag, buf.clone());
+                self.try_send_f32(dst, tag, buf.clone())?;
             }
         }
+        Ok(())
     }
 
-    fn tree_reduce_group(&mut self, group: &[usize], root_pos: usize, buf: &mut [f32], tag: u64) {
+    fn tree_reduce_group(&mut self, group: &[usize], root_pos: usize, buf: &mut [f32], tag: u64) -> Result<(), CommError> {
         let g = group.len();
         if g == 1 {
-            return;
+            return Ok(());
         }
         assert_eq!(root_pos, 0, "tree reduce assumes the group's first member is root");
         let me = self.group_pos(group);
@@ -400,7 +587,7 @@ impl Communicator {
         // order so sums are deterministic: child 2m+2 then 2m+1).
         for child in [2 * me + 2, 2 * me + 1] {
             if child < g {
-                let part = self.recv_f32(group[child], tag);
+                let part = self.try_recv_f32(group[child], tag)?;
                 for (a, b) in buf.iter_mut().zip(part.iter()) {
                     *a += *b;
                 }
@@ -408,14 +595,15 @@ impl Communicator {
         }
         if me != 0 {
             let parent = (me - 1) / 2;
-            self.send_f32(group[parent], tag, buf.to_vec());
+            self.try_send_f32(group[parent], tag, buf.to_vec())?;
         }
+        Ok(())
     }
 
-    fn ring_allreduce_group(&mut self, group: &[usize], buf: &mut [f32], tag: u64) {
+    fn ring_allreduce_group(&mut self, group: &[usize], buf: &mut [f32], tag: u64) -> Result<(), CommError> {
         let g = group.len();
         if g == 1 {
-            return;
+            return Ok(());
         }
         let me = self.group_pos(group);
         let right = group[(me + 1) % g];
@@ -428,8 +616,8 @@ impl Communicator {
             let send_idx = (me + g - step) % g;
             let recv_idx = (me + g - step - 1) % g;
             let (slo, shi) = bounds(send_idx);
-            self.send_f32(right, tag | (step as u64) << 8, buf[slo..shi].to_vec());
-            let part = self.recv_f32(left, tag | (step as u64) << 8);
+            self.try_send_f32(right, tag | (step as u64) << 8, buf[slo..shi].to_vec())?;
+            let part = self.try_recv_f32(left, tag | (step as u64) << 8)?;
             let (rlo, rhi) = bounds(recv_idx);
             for (a, b) in buf[rlo..rhi].iter_mut().zip(part.iter()) {
                 *a += *b;
@@ -440,17 +628,18 @@ impl Communicator {
             let send_idx = (me + 1 + g - step) % g;
             let recv_idx = (me + g - step) % g;
             let (slo, shi) = bounds(send_idx);
-            self.send_f32(right, tag | 1 << 20 | (step as u64) << 8, buf[slo..shi].to_vec());
-            let part = self.recv_f32(left, tag | 1 << 20 | (step as u64) << 8);
+            self.try_send_f32(right, tag | 1 << 20 | (step as u64) << 8, buf[slo..shi].to_vec())?;
+            let part = self.try_recv_f32(left, tag | 1 << 20 | (step as u64) << 8)?;
             let (rlo, rhi) = bounds(recv_idx);
             buf[rlo..rhi].copy_from_slice(&part);
         }
+        Ok(())
     }
 
-    fn rhd_allreduce_group(&mut self, group: &[usize], buf: &mut [f32], tag: u64) {
+    fn rhd_allreduce_group(&mut self, group: &[usize], buf: &mut [f32], tag: u64) -> Result<(), CommError> {
         let g = group.len();
         if g == 1 {
-            return;
+            return Ok(());
         }
         let me = self.group_pos(group);
         let p2 = {
@@ -465,10 +654,10 @@ impl Communicator {
         // Fold the excess ranks into partners.
         let active: Option<usize> = if me < 2 * extra {
             if !me.is_multiple_of(2) {
-                self.send_f32(group[me - 1], tag, buf.to_vec());
+                self.try_send_f32(group[me - 1], tag, buf.to_vec())?;
                 None
             } else {
-                let part = self.recv_f32(group[me + 1], tag);
+                let part = self.try_recv_f32(group[me + 1], tag)?;
                 for (a, b) in buf.iter_mut().zip(part.iter()) {
                     *a += *b;
                 }
@@ -492,8 +681,8 @@ impl Communicator {
             let mut mask = 1usize;
             while mask < p2 {
                 let partner = actual(id ^ mask);
-                self.send_f32(partner, tag | (mask as u64) << 8, buf.to_vec());
-                let part = self.recv_f32(partner, tag | (mask as u64) << 8);
+                self.try_send_f32(partner, tag | (mask as u64) << 8, buf.to_vec())?;
+                let part = self.try_recv_f32(partner, tag | (mask as u64) << 8)?;
                 for (a, b) in buf.iter_mut().zip(part.iter()) {
                     *a += *b;
                 }
@@ -504,11 +693,12 @@ impl Communicator {
         // Unfold: partners return the final buffer to folded ranks.
         if me < 2 * extra {
             if me.is_multiple_of(2) {
-                self.send_f32(group[me + 1], tag | 1 << 20, buf.to_vec());
+                self.try_send_f32(group[me + 1], tag | 1 << 20, buf.to_vec())?;
             } else {
-                let out = self.recv_f32(group[me - 1], tag | 1 << 20);
+                let out = self.try_recv_f32(group[me - 1], tag | 1 << 20)?;
                 buf.copy_from_slice(&out);
             }
         }
+        Ok(())
     }
 }

@@ -9,7 +9,8 @@
 //! point-to-point channels of `exaclim-comm`, so message counts are
 //! *measured*, not estimated.
 
-use exaclim_comm::Communicator;
+use exaclim_comm::{CommError, Communicator};
+use std::time::Instant;
 
 const TAG_READY: u64 = 0xC0_0001;
 const TAG_BEGIN: u64 = 0xC0_0002;
@@ -64,6 +65,16 @@ impl Coordinator {
     /// ready (a permutation of `0..n_tensors`). Returns the agreed global
     /// order — identical on every rank.
     pub fn coordinate(&self, comm: &mut Communicator, ready_order: &[u32]) -> Vec<u32> {
+        self.try_coordinate(comm, ready_order)
+            .unwrap_or_else(|e| panic!("coordinate: {e}"))
+    }
+
+    /// Fallible [`Coordinator::coordinate`]: a peer that dies (its
+    /// communicator drops) or a round that makes no progress within the
+    /// communicator's receive deadline comes back as a [`CommError`]
+    /// instead of spinning forever — the hook the checkpoint-restart
+    /// trainer uses to detect a lost rank.
+    pub fn try_coordinate(&self, comm: &mut Communicator, ready_order: &[u32]) -> Result<Vec<u32>, CommError> {
         assert_eq!(ready_order.len(), self.n_tensors, "must report every tensor");
         match self.plane {
             ControlPlane::Centralized => self.coordinate_tree(comm, ready_order, comm.size().max(1)),
@@ -78,7 +89,12 @@ impl Coordinator {
     /// degenerate tree with radix = world size (rank 0 is every rank's
     /// parent), which is exactly how the paper describes its change —
     /// "rank 0 ... operates as if there were only r+1 ranks to coordinate".
-    fn coordinate_tree(&self, comm: &mut Communicator, ready_order: &[u32], radix: usize) -> Vec<u32> {
+    fn coordinate_tree(
+        &self,
+        comm: &mut Communicator,
+        ready_order: &[u32],
+        radix: usize,
+    ) -> Result<Vec<u32>, CommError> {
         let rank = comm.rank();
         let size = comm.size();
         let parent = if rank == 0 { None } else { Some((rank - 1) / radix) };
@@ -97,6 +113,7 @@ impl Coordinator {
         let mut begun = vec![false; self.n_tensors];
         let mut order: Vec<u32> = Vec::with_capacity(self.n_tensors);
         let mut next_own = 0usize;
+        let mut last_progress = Instant::now();
 
         loop {
             // Feed our own readiness progressively (models the dynamic
@@ -109,6 +126,7 @@ impl Coordinator {
 
             // Drain incoming control messages.
             while let Some((src, tag, payload)) = comm.try_recv_bytes_any() {
+                last_progress = Instant::now();
                 match tag {
                     TAG_READY => {
                         debug_assert!(children.contains(&src), "ready from non-child {src}");
@@ -122,14 +140,22 @@ impl Coordinator {
                         // Relay downward first (§V-A3), then adopt.
                         if !batch.is_empty() {
                             for &c in &children {
-                                comm.send_bytes(c, TAG_BEGIN, encode_ids(&batch));
+                                comm.try_send_bytes(c, TAG_BEGIN, encode_ids(&batch))?;
                             }
                             order.extend_from_slice(&batch);
                         }
                     }
-                    other => panic!("unexpected control tag {other:#x}"),
+                    other => {
+                        return Err(CommError::TagMismatch {
+                            rank,
+                            src,
+                            expected: TAG_READY,
+                            got: other,
+                        })
+                    }
                 }
             }
+
 
             // Report subtree-complete tensors upward (or begin them, at
             // the root).
@@ -142,7 +168,7 @@ impl Coordinator {
             }
             if !newly_ready.is_empty() {
                 match parent {
-                    Some(p) => comm.send_bytes(p, TAG_READY, encode_ids(&newly_ready)),
+                    Some(p) => comm.try_send_bytes(p, TAG_READY, encode_ids(&newly_ready))?,
                     None => {
                         // Root: a subtree-complete tensor is globally
                         // complete. Emit a begin batch.
@@ -155,7 +181,7 @@ impl Coordinator {
                         }
                         if !batch.is_empty() {
                             for &c in &children {
-                                comm.send_bytes(c, TAG_BEGIN, encode_ids(&batch));
+                                comm.try_send_bytes(c, TAG_BEGIN, encode_ids(&batch))?;
                             }
                             order.extend_from_slice(&batch);
                         }
@@ -164,7 +190,26 @@ impl Coordinator {
             }
 
             if order.len() == self.n_tensors {
-                return order;
+                return Ok(order);
+            }
+            // Still incomplete: a peer whose communicator dropped can never
+            // report or relay, so the round cannot finish. Surface the
+            // death. (Checked only after the completion test so a finished
+            // peer exiting early never reads as a failure.)
+            if let Some(&dead) = comm.dead_peers().first() {
+                return Err(CommError::PeerDead { rank, src: dead });
+            }
+            // No message and no completion within the deadline: name the
+            // edge we are most plausibly stuck on (parent for interior
+            // ranks, first child for the root).
+            if last_progress.elapsed() > comm.recv_deadline() {
+                let waiting_on = parent.or_else(|| children.first().copied()).unwrap_or(rank);
+                return Err(CommError::Timeout {
+                    rank,
+                    src: waiting_on,
+                    tag: if parent.is_some() { TAG_BEGIN } else { TAG_READY },
+                    waited: comm.recv_deadline(),
+                });
             }
             // Single-core friendliness: let peer rank threads run.
             std::thread::yield_now();
@@ -272,6 +317,46 @@ mod tests {
     fn single_rank_is_trivial() {
         let (orders, _, _) = run_coordination(1, ControlPlane::Hierarchical { radix: 4 }, 3, false);
         assert_eq!(orders[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dead_rank_aborts_coordination_with_typed_error() {
+        use std::time::Duration;
+        // Rank 2 dies before coordinating; survivors must detect it (not
+        // spin) and name a failed edge.
+        let comms = CommWorld::with_deadline(3, Duration::from_millis(200));
+        let mut it = comms.into_iter();
+        let c0 = it.next().expect("rank 0");
+        let c1 = it.next().expect("rank 1");
+        drop(it.next()); // rank 2 crashes
+        let spawn = |mut c: Communicator| {
+            thread::spawn(move || {
+                let coord = Coordinator::new(ControlPlane::Hierarchical { radix: 2 }, 4);
+                coord.try_coordinate(&mut c, &[0, 1, 2, 3]).err()
+            })
+        };
+        let (h0, h1) = (spawn(c0), spawn(c1));
+        for (rank, h) in [(0, h0), (1, h1)] {
+            let err = h.join().expect("join").expect("survivor must error");
+            assert!(err.is_peer_failure(), "rank {rank}: {err}");
+        }
+    }
+
+    #[test]
+    fn silent_rank_times_out_with_diagnostics() {
+        use exaclim_comm::CommError;
+        use std::time::Duration;
+        // Rank 1 exists but never coordinates: rank 0 must time out and
+        // report who it waited on.
+        let comms = CommWorld::with_deadline(2, Duration::from_millis(100));
+        let mut it = comms.into_iter();
+        let mut c0 = it.next().expect("rank 0");
+        let _c1 = it.next().expect("rank 1 silent");
+        let coord = Coordinator::new(ControlPlane::Centralized, 2);
+        match coord.try_coordinate(&mut c0, &[0, 1]) {
+            Err(CommError::Timeout { rank: 0, src: 1, .. }) => {}
+            other => panic!("expected root timeout on rank 1, got {other:?}"),
+        }
     }
 
     #[test]

@@ -29,4 +29,7 @@ pub mod trainer;
 
 pub use control::{ControlPlane, Coordinator};
 pub use fusion::{fuse, FusionBucket};
-pub use trainer::{train_data_parallel, BatchSource, OptimizerKind, StepRecord, TrainerConfig, TrainingReport};
+pub use trainer::{
+    train_data_parallel, train_data_parallel_ft, BatchSource, FtConfig, FtReport, OptimizerKind,
+    StepRecord, TrainerConfig, TrainingReport,
+};

@@ -9,7 +9,9 @@
 
 use crate::control::{ControlPlane, Coordinator};
 use crate::fusion::fuse;
-use exaclim_comm::{CommWorld, Communicator};
+use exaclim_comm::{CommError, CommWorld, Communicator};
+use exaclim_faults::FaultPlan;
+use exaclim_nn::checkpoint;
 use exaclim_nn::loss::{Labels, WeightedCrossEntropy};
 use exaclim_nn::optim::{Adam, Lagged, LarcSgd, Optimizer, Sgd};
 use exaclim_nn::{Ctx, Layer, ParamSet};
@@ -18,7 +20,8 @@ use exaclim_tensor::profile::{self, KernelKind};
 use exaclim_tensor::{DType, Tensor};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// One local batch: input `[N, C, H, W]`, labels, per-pixel loss weights.
 pub struct Batch {
@@ -307,7 +310,14 @@ where
         if cfg.shuffle_ready_order {
             ready.shuffle(&mut shuffle_rng);
         }
-        let order = coordinator.coordinate(&mut comm, &ready);
+        let mut order = coordinator.coordinate(&mut comm, &ready);
+        // The coordination round proves agreement and liveness (and its
+        // message traffic is what the control-plane comparisons measure),
+        // but the *batch boundaries* it emits depend on message arrival
+        // timing. Execution uses the canonical sorted order so fusion
+        // buckets — and therefore summation order and parameter bits —
+        // replay identically across runs.
+        order.sort_unstable();
 
         // Fused gradient all-reduces in the agreed order.
         let buckets = fuse(&order, &sizes, cfg.fusion_threshold_bytes);
@@ -381,6 +391,398 @@ where
 
 fn param_hash(params: &ParamSet) -> u64 {
     params.state_hash()
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant training: checkpoint/restart over a shrinking world.
+// ---------------------------------------------------------------------------
+
+/// Fault-tolerance knobs wrapped around a [`TrainerConfig`].
+#[derive(Debug, Clone)]
+pub struct FtConfig {
+    /// The underlying training configuration. `ranks` is the *initial*
+    /// world size; the surviving world shrinks as ranks die.
+    pub base: TrainerConfig,
+    /// Save an auto-checkpoint after every this-many completed steps.
+    pub checkpoint_every: usize,
+    /// Directory for `step-*.exck` auto-checkpoints.
+    pub checkpoint_dir: PathBuf,
+    /// Give up (panic) after this many restarts.
+    pub max_restarts: usize,
+    /// Per-receive deadline for the training world. Short, so a dead rank
+    /// is detected in bounded time instead of hanging a collective.
+    pub recv_deadline: Duration,
+}
+
+impl FtConfig {
+    /// Sensible defaults: checkpoint every 2 steps, up to 4 restarts,
+    /// 5-second receive deadline.
+    pub fn new(base: TrainerConfig, checkpoint_dir: impl Into<PathBuf>) -> FtConfig {
+        FtConfig {
+            base,
+            checkpoint_every: 2,
+            checkpoint_dir: checkpoint_dir.into(),
+            max_restarts: 4,
+            recv_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Result of a fault-tolerant run.
+#[derive(Debug)]
+pub struct FtReport {
+    /// Per-step aggregates over all `base.steps` global steps. Steps
+    /// replayed after a restart carry the replay's numbers.
+    pub steps: Vec<StepRecord>,
+    /// Final parameter hash per *surviving* rank.
+    pub final_hashes: Vec<u64>,
+    /// True if every surviving replica ended bitwise identical.
+    pub consistent: bool,
+    /// Restarts performed (0 on a healthy run).
+    pub restarts: usize,
+    /// Auto-checkpoints written across all generations.
+    pub checkpoints_saved: usize,
+    /// Original ids of ranks that died, in death order.
+    pub ranks_lost: Vec<usize>,
+    /// Original ids of the ranks that finished the run.
+    pub survivors: Vec<usize>,
+    /// Non-finite loss detected.
+    pub diverged: bool,
+}
+
+/// How one rank's participation in a generation ended.
+enum FtOutcome {
+    /// Ran every remaining step.
+    Finished(FtRankRun),
+    /// The injected fault fired: the rank exited at this step, dropping
+    /// its communicator without a word — a real node death's signature.
+    Crashed { at_step: usize, run: FtRankRun },
+    /// A collective failed (a peer died or went silent); the rank backed
+    /// out cleanly so the driver can restart the survivors.
+    Aborted { error: CommError, run: FtRankRun },
+}
+
+/// What a rank accumulated before its generation ended.
+struct FtRankRun {
+    /// `(global step, mean loss, wall seconds)` per completed step.
+    records: Vec<(usize, f32, f64)>,
+    /// Completed-step counts at which this rank saved an auto-checkpoint.
+    saved: Vec<usize>,
+    per_step_hashes_consistent: bool,
+    final_hash: u64,
+    model: Box<dyn Layer>,
+}
+
+/// Runs synchronous data-parallel training that survives rank deaths.
+///
+/// The driver runs the world in *generations*. Within a generation, ranks
+/// train exactly like [`train_data_parallel`] except that every collective
+/// is the fallible `try_` variant and rank 0 writes an auto-checkpoint
+/// every [`FtConfig::checkpoint_every`] steps. A rank whose [`FaultPlan`]
+/// says "crash at step c" exits at that step without ceremony; survivors
+/// observe the death as typed [`CommError`]s (never a hang — receives are
+/// deadline-bounded), abort the step, and the driver restarts a smaller
+/// world from the latest checkpoint. Replayed steps are deterministic, so
+/// two runs with the same seeds and the same fault plan produce identical
+/// parameter bits.
+///
+/// Optimizer state (momentum/Adam moments) intentionally restarts cold
+/// from each checkpoint — the snapshot is the paper-style parameter
+/// checkpoint, not a full optimizer image.
+pub fn train_data_parallel_ft<B, MB, SB>(
+    ft: &FtConfig,
+    faults: &FaultPlan,
+    model_builder: MB,
+    source_builder: SB,
+) -> (FtReport, Box<dyn Layer>)
+where
+    B: BatchSource + 'static,
+    MB: Fn(&mut rand::rngs::StdRng) -> Box<dyn Layer> + Send + Sync + Clone + 'static,
+    SB: Fn(usize) -> B + Send + Sync,
+{
+    assert!(ft.base.ranks >= 1, "need at least one rank");
+    assert_eq!(ft.base.ranks % ft.base.node_size, 0, "node_size must divide ranks");
+    assert!(ft.checkpoint_every >= 1, "checkpoint_every must be at least 1");
+
+    let mut members: Vec<usize> = (0..ft.base.ranks).collect();
+    let mut ranks_lost: Vec<usize> = Vec::new();
+    let mut restarts = 0usize;
+    let mut checkpoints_saved = 0usize;
+    // The most recent checkpoint written *by this run* — tracked in
+    // memory, never rediscovered from disk, so stale files from an older
+    // run in the same directory can't hijack a restart.
+    let mut resume: Option<(usize, PathBuf)> = None;
+    let mut step_records: Vec<Option<StepRecord>> = vec![None; ft.base.steps];
+
+    loop {
+        let n = members.len();
+        assert!(n >= 1, "every rank died; nothing left to restart");
+        let mut cfg = ft.base.clone();
+        cfg.ranks = n;
+        if !n.is_multiple_of(cfg.node_size) {
+            // The surviving world no longer tiles into full nodes; fall
+            // back to a flat topology.
+            cfg.node_size = 1;
+        }
+        cfg.shard_leaders = cfg.shard_leaders.min(cfg.node_size);
+        let start_step = resume.as_ref().map_or(0, |(s, _)| *s);
+
+        let comms = CommWorld::with_deadline(n, ft.recv_deadline);
+        let outcomes: Vec<FtOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .enumerate()
+                .map(|(idx, comm)| {
+                    let original = members[idx];
+                    let cfg = cfg.clone();
+                    let mb = model_builder.clone();
+                    let source = source_builder(original);
+                    let resume = resume.clone();
+                    scope.spawn(move || {
+                        rank_main_ft(idx, original, comm, cfg, ft, start_step, resume, faults, mb, source)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread")).collect()
+        });
+
+        let mut newly_dead: Vec<usize> = Vec::new();
+        let mut why: Vec<String> = Vec::new();
+        let mut all_finished = true;
+        let mut final_hashes: Vec<u64> = Vec::new();
+        let mut hashes_ok = true;
+        let mut model_out: Option<Box<dyn Layer>> = None;
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            let run = match outcome {
+                FtOutcome::Finished(run) => {
+                    final_hashes.push(run.final_hash);
+                    hashes_ok &= run.per_step_hashes_consistent;
+                    run
+                }
+                FtOutcome::Crashed { at_step, run } => {
+                    all_finished = false;
+                    newly_dead.push(members[idx]);
+                    why.push(format!("rank {} crashed at step {at_step}", members[idx]));
+                    run
+                }
+                FtOutcome::Aborted { error, run } => {
+                    all_finished = false;
+                    why.push(format!("rank {} aborted: {error}", members[idx]));
+                    run
+                }
+            };
+            // Rank 0 of the generation is the checkpoint writer and the
+            // source of step aggregates (even from a partial generation).
+            if idx == 0 {
+                for &(step, loss, wall) in &run.records {
+                    step_records[step] = Some(StepRecord { step, mean_loss: loss, wall_time_s: wall });
+                }
+                checkpoints_saved += run.saved.len();
+                if let Some(&s) = run.saved.iter().max() {
+                    if resume.as_ref().is_none_or(|(r, _)| s > *r) {
+                        let path = ft.checkpoint_dir.join(format!("step-{s:08}.exck"));
+                        resume = Some((s, path));
+                    }
+                }
+                if all_finished {
+                    model_out = Some(run.model);
+                }
+            }
+        }
+
+        if all_finished {
+            let steps: Vec<StepRecord> = step_records
+                .into_iter()
+                .map(|r| r.expect("every step completed"))
+                .collect();
+            let diverged = steps.iter().any(|s| !s.mean_loss.is_finite());
+            let consistent = hashes_ok && final_hashes.windows(2).all(|w| w[0] == w[1]);
+            let report = FtReport {
+                steps,
+                final_hashes,
+                consistent,
+                restarts,
+                checkpoints_saved,
+                ranks_lost,
+                survivors: members,
+                diverged,
+            };
+            return (report, model_out.expect("rank 0 finished"));
+        }
+
+        restarts += 1;
+        assert!(
+            restarts <= ft.max_restarts,
+            "gave up after {restarts} restarts (lost ranks {ranks_lost:?}; this generation: {})",
+            why.join("; ")
+        );
+        members.retain(|m| !newly_dead.contains(m));
+        ranks_lost.extend(newly_dead);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main_ft<B, MB>(
+    idx: usize,
+    original: usize,
+    mut comm: Communicator,
+    cfg: TrainerConfig,
+    ft: &FtConfig,
+    start_step: usize,
+    resume: Option<(usize, PathBuf)>,
+    faults: &FaultPlan,
+    model_builder: MB,
+    mut source: B,
+) -> FtOutcome
+where
+    B: BatchSource,
+    MB: Fn(&mut rand::rngs::StdRng) -> Box<dyn Layer>,
+{
+    // Identical replica on every rank, then an identical restore on top.
+    let mut init_rng = seeded_rng(cfg.seed);
+    let mut model = model_builder(&mut init_rng);
+    let state = checkpoint::full_state(model.as_ref());
+    if let Some((step, path)) = &resume {
+        checkpoint::load_into(&state, path)
+            .unwrap_or_else(|e| panic!("rank {original}: restore step-{step} checkpoint: {e}"));
+    }
+    let params = model.params();
+    let sizes: Vec<usize> = params.iter().map(|p| p.numel()).collect();
+    let n_tensors = sizes.len();
+    let coordinator = Coordinator::new(cfg.control, n_tensors);
+    let loss_fn = WeightedCrossEntropy::with_scale(cfg.loss_scale);
+    let lag = cfg.gradient_lag.then_some(cfg.lag_depth.max(1));
+    let mut optimizer = build_optimizer(cfg.optimizer, lag, cfg.loss_scale);
+    // Streams are keyed by the rank's *original* id so they stay stable
+    // across generations (a survivor keeps its data shard).
+    let mut ctx = Ctx::train(cfg.seed ^ (original as u64 + 1) << 17);
+    let mut shuffle_rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xABCD ^ original as u64);
+    // Fast-forward the per-rank streams to the resume point so replayed
+    // global steps see the batches they would have seen.
+    for _ in 0..start_step {
+        let _ = source.next_batch();
+        if cfg.shuffle_ready_order {
+            let mut ready: Vec<u32> = (0..n_tensors as u32).collect();
+            ready.shuffle(&mut shuffle_rng);
+        }
+    }
+
+    let crash_at = faults.crash_step(original);
+    let mut records: Vec<(usize, f32, f64)> = Vec::new();
+    let mut saved: Vec<usize> = Vec::new();
+    let mut hashes_ok = true;
+    let mk_run = |records: Vec<(usize, f32, f64)>, saved: Vec<usize>, hashes_ok: bool, hash: u64, model: Box<dyn Layer>| FtRankRun {
+        records,
+        saved,
+        per_step_hashes_consistent: hashes_ok,
+        final_hash: hash,
+        model,
+    };
+
+    for step in start_step..cfg.steps {
+        if crash_at == Some(step) {
+            // Fault injection: die here. Dropping the communicator is the
+            // whole signal — peers find out through their own receives.
+            let hash = param_hash(&params);
+            return FtOutcome::Crashed {
+                at_step: step,
+                run: mk_run(records, saved, hashes_ok, hash, model),
+            };
+        }
+        let t0 = Instant::now();
+        let step_result: Result<f32, CommError> = (|| {
+            let batch = source.next_batch();
+            let input = if batch.input.dtype() == cfg.precision {
+                batch.input
+            } else {
+                batch.input.cast(cfg.precision)
+            };
+            let logits = model.forward(&input, &mut ctx);
+            profile::set_phase(profile::Phase::Backward);
+            let out = loss_fn.forward(&logits, &batch.labels, &batch.weights);
+            model.backward(&out.grad_logits);
+            profile::set_phase(profile::Phase::Forward);
+
+            let mut ready: Vec<u32> = (0..n_tensors as u32).collect();
+            if cfg.shuffle_ready_order {
+                ready.shuffle(&mut shuffle_rng);
+            }
+            let mut order = coordinator.try_coordinate(&mut comm, &ready)?;
+            // Canonical execution order — see rank_main: checkpoint-restart
+            // replay must be bit-identical, so arrival timing must not
+            // leak into the arithmetic.
+            order.sort_unstable();
+
+            let buckets = fuse(&order, &sizes, cfg.fusion_threshold_bytes);
+            let inv_n = 1.0 / cfg.ranks as f32;
+            for bucket in &buckets {
+                let mut flat = Vec::with_capacity(bucket.elements);
+                for &id in &bucket.tensor_ids {
+                    params
+                        .iter()
+                        .nth(id as usize)
+                        .expect("tensor id in range")
+                        .with(|_, g| flat.extend_from_slice(g.as_slice()));
+                }
+                if cfg.compress_gradients {
+                    exaclim_tensor::half::quantize_f16_slice(&mut flat);
+                }
+                profile::record(
+                    KernelKind::Allreduce,
+                    "grad_allreduce",
+                    flat.len() as u64,
+                    flat.len() as u64 * 4,
+                    flat.len() as u64 * 4,
+                );
+                comm.try_hierarchical_allreduce(&mut flat, cfg.node_size, cfg.shard_leaders)?;
+                let mut off = 0;
+                for &id in &bucket.tensor_ids {
+                    let p = params.iter().nth(id as usize).expect("tensor id in range");
+                    let n = p.numel();
+                    let avg: Vec<f32> = flat[off..off + n].iter().map(|&x| x * inv_n).collect();
+                    p.set_grad(Tensor::from_vec(p.grad().shape().clone(), DType::F32, avg));
+                    off += n;
+                }
+            }
+
+            optimizer.step(&params);
+
+            let mut lbuf = vec![out.loss];
+            comm.try_allreduce_tree(&mut lbuf)?;
+            let mean_loss = lbuf[0] / cfg.ranks as f32;
+
+            let h = params.state_hash();
+            let mut hbuf: Vec<f32> = (0..4).map(|i| ((h >> (16 * i)) & 0xffff) as f32).collect();
+            let mine = hbuf.clone();
+            comm.try_broadcast(0, &mut hbuf)?;
+            if hbuf != mine {
+                hashes_ok = false;
+            }
+            Ok(mean_loss)
+        })();
+
+        match step_result {
+            Ok(mean_loss) => {
+                records.push((step, mean_loss, t0.elapsed().as_secs_f64()));
+                let completed = step + 1;
+                if idx == 0 && completed % ft.checkpoint_every == 0 {
+                    checkpoint::save_auto(&state, &ft.checkpoint_dir, completed)
+                        .unwrap_or_else(|e| panic!("auto-checkpoint at step {completed}: {e}"));
+                    saved.push(completed);
+                }
+            }
+            Err(error) => {
+                let hash = param_hash(&params);
+                return FtOutcome::Aborted {
+                    error,
+                    run: mk_run(records, saved, hashes_ok, hash, model),
+                };
+            }
+        }
+    }
+
+    let hash = param_hash(&params);
+    FtOutcome::Finished(mk_run(records, saved, hashes_ok, hash, model))
 }
 
 #[cfg(test)]
@@ -540,6 +942,111 @@ mod tests {
         let (report, _model) = train_data_parallel(&cfg, toy_model, toy_source);
         assert!(report.consistent);
         assert!(!report.diverged, "uniform weights at scale 128 must stay finite");
+    }
+
+    fn ft_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("exaclim_ft_{}", std::process::id()))
+            .join(name);
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn ft_config(ranks: usize, steps: usize, dir: &str) -> FtConfig {
+        let mut ft = FtConfig::new(toy_config(ranks, steps), ft_dir(dir));
+        ft.checkpoint_every = 2;
+        ft.recv_deadline = Duration::from_secs(2);
+        ft
+    }
+
+    #[test]
+    fn healthy_ft_run_matches_plain_trainer_bitwise() {
+        // With no faults injected, the fault-tolerant path must follow
+        // the exact arithmetic of the plain trainer.
+        let (plain, _m) = train_data_parallel(&toy_config(2, 6), toy_model, toy_source);
+        let ft = ft_config(2, 6, "healthy");
+        let (r, _m2) = train_data_parallel_ft(&ft, &FaultPlan::none(), toy_model, toy_source);
+        assert_eq!(r.restarts, 0);
+        assert!(r.ranks_lost.is_empty());
+        assert!(r.consistent);
+        assert_eq!(r.final_hashes[0], plain.final_hashes[0], "identical parameter bits");
+        assert_eq!(r.checkpoints_saved, 3, "steps 2, 4, 6");
+        std::fs::remove_dir_all(&ft.checkpoint_dir).ok();
+    }
+
+    #[test]
+    fn rank_death_recovers_via_checkpoint_restart() {
+        // End-to-end recovery: rank 2 dies at step 5 of 8. Survivors
+        // detect it, restart from the step-4 checkpoint as a 3-rank
+        // world, and finish with bitwise-identical replicas.
+        let ft = ft_config(4, 8, "one_death");
+        let faults = FaultPlan::seeded(7).with_crash_at_step(2, 5);
+        let (r, _model) = train_data_parallel_ft(&ft, &faults, toy_model, toy_source);
+        assert_eq!(r.ranks_lost, vec![2]);
+        assert_eq!(r.survivors, vec![0, 1, 3]);
+        assert_eq!(r.restarts, 1);
+        assert_eq!(r.steps.len(), 8, "every global step completed");
+        assert!(r.steps.iter().enumerate().all(|(i, s)| s.step == i));
+        assert_eq!(r.final_hashes.len(), 3, "one hash per survivor");
+        assert!(r.consistent, "survivors diverged: {:?}", r.final_hashes);
+        assert!(r.checkpoints_saved >= 2, "auto-checkpoints were written");
+        assert!(!r.diverged);
+        std::fs::remove_dir_all(&ft.checkpoint_dir).ok();
+    }
+
+    #[test]
+    fn death_before_any_checkpoint_restarts_from_scratch() {
+        // Dying at step 1 (before the first step-2 checkpoint) must fall
+        // back to a from-scratch restart, not a bogus restore.
+        let ft = ft_config(2, 4, "early_death");
+        let faults = FaultPlan::seeded(8).with_crash_at_step(1, 1);
+        let (r, _model) = train_data_parallel_ft(&ft, &faults, toy_model, toy_source);
+        assert_eq!(r.ranks_lost, vec![1]);
+        assert_eq!(r.restarts, 1);
+        assert_eq!(r.steps.len(), 4);
+        assert!(r.consistent);
+        std::fs::remove_dir_all(&ft.checkpoint_dir).ok();
+    }
+
+    #[test]
+    fn ft_replay_with_same_fault_plan_is_bit_identical() {
+        // Determinism under chaos: the same seeded fault plan twice gives
+        // the same deaths, the same restarts, and the same final bits.
+        // Killing rank 0 also hands the checkpoint-writer role to the
+        // next survivor.
+        let faults = FaultPlan::seeded(21).with_crash_at_step(0, 3);
+        let ft_a = ft_config(4, 6, "replay_a");
+        let (a, _ma) = train_data_parallel_ft(&ft_a, &faults, toy_model, toy_source);
+        let ft_b = ft_config(4, 6, "replay_b");
+        let (b, _mb) = train_data_parallel_ft(&ft_b, &faults, toy_model, toy_source);
+        assert_eq!(a.ranks_lost, b.ranks_lost);
+        assert_eq!(a.restarts, b.restarts);
+        assert_eq!(a.final_hashes, b.final_hashes);
+        assert_eq!(a.steps.len(), b.steps.len());
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(x.mean_loss.to_bits(), y.mean_loss.to_bits(), "step {} loss", x.step);
+        }
+        std::fs::remove_dir_all(&ft_a.checkpoint_dir).ok();
+        std::fs::remove_dir_all(&ft_b.checkpoint_dir).ok();
+    }
+
+    #[test]
+    fn two_rank_deaths_across_generations_recover() {
+        // Rank 1 dies at step 2, rank 3 at step 4 — two restarts, and the
+        // last two survivors still finish consistently.
+        let ft = ft_config(4, 6, "two_deaths");
+        let faults = FaultPlan::seeded(5)
+            .with_crash_at_step(1, 2)
+            .with_crash_at_step(3, 4);
+        let (r, _model) = train_data_parallel_ft(&ft, &faults, toy_model, toy_source);
+        let mut lost = r.ranks_lost.clone();
+        lost.sort_unstable();
+        assert_eq!(lost, vec![1, 3]);
+        assert_eq!(r.survivors, vec![0, 2]);
+        assert_eq!(r.restarts, 2);
+        assert_eq!(r.steps.len(), 6);
+        assert!(r.consistent);
+        std::fs::remove_dir_all(&ft.checkpoint_dir).ok();
     }
 
     /// Differently-seeded init across ranks must be *caught* by the

@@ -3,7 +3,14 @@
 //! Used by the staging simulator to overlap filesystem reads with
 //! point-to-point redistribution, and available to any model that needs
 //! explicit event interleaving rather than closed-form composition.
+//!
+//! [`Faulted`] interleaves a [`FaultPlan`]'s timed node crashes into an
+//! application event stream: `Simulator::<Faulted<E>>::with_fault_plan`
+//! pre-schedules every `CrashPoint::Time` strike, and the driving loop
+//! pattern-matches crashes out of the same time-ordered queue as its own
+//! events.
 
+use exaclim_faults::{CrashPoint, FaultPlan, NodeCrash};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -89,6 +96,40 @@ impl<T> Simulator<T> {
     }
 }
 
+/// An event stream interleaving application events with injected faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Faulted<E> {
+    /// An ordinary application event.
+    App(E),
+    /// A node crash injected from a [`FaultPlan`].
+    Crash(NodeCrash),
+}
+
+impl<E> Simulator<Faulted<E>> {
+    /// A simulator with every timed crash of `plan` pre-scheduled
+    /// ([`CrashPoint::Time`] entries; step- and read-count crashes belong
+    /// to other layers' time bases and are ignored here).
+    pub fn with_fault_plan(plan: &FaultPlan) -> Simulator<Faulted<E>> {
+        let mut sim = Simulator::new();
+        for c in &plan.crashes {
+            if let CrashPoint::Time(t) = c.at {
+                sim.schedule_at(t, Faulted::Crash(*c));
+            }
+        }
+        sim
+    }
+
+    /// Schedules an application event at absolute time `at`.
+    pub fn schedule_app_at(&mut self, at: f64, event: E) {
+        self.schedule_at(at, Faulted::App(event));
+    }
+
+    /// Schedules an application event `delay` seconds from now.
+    pub fn schedule_app_in(&mut self, delay: f64, event: E) {
+        self.schedule_in(delay, Faulted::App(event));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +158,26 @@ mod tests {
         assert_eq!(sim.pop().map(|e| e.1), Some(1));
         assert_eq!(sim.pop().map(|e| e.1), Some(2));
         assert_eq!(sim.pop().map(|e| e.1), Some(3));
+    }
+
+    #[test]
+    fn fault_plan_crashes_interleave_with_app_events() {
+        let plan = FaultPlan::seeded(1)
+            .with_crash_at_time(2, 1.5)
+            .with_crash_at_step(0, 5); // step-based: not this layer's time base
+        let mut sim = Simulator::with_fault_plan(&plan);
+        sim.schedule_app_at(1.0, "read");
+        sim.schedule_app_at(2.0, "send");
+        assert_eq!(sim.pop(), Some((1.0, Faulted::App("read"))));
+        match sim.pop() {
+            Some((t, Faulted::Crash(c))) => {
+                assert_eq!(t, 1.5);
+                assert_eq!(c.node, 2);
+            }
+            other => panic!("expected crash at 1.5, got {other:?}"),
+        }
+        assert_eq!(sim.pop(), Some((2.0, Faulted::App("send"))));
+        assert_eq!(sim.pop(), None);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod net;
 pub mod topology;
 
 pub use cluster::{ScalePoint, TrainingJobModel, WorkloadModel};
+pub use event::{Faulted, Simulator};
 pub use fs::{BurstBuffer, SharedFilesystem};
 pub use gpu::{GpuModel, KernelWork, Precision, WorkCategory};
 pub use machine::MachineSpec;

@@ -42,6 +42,20 @@ impl LinkModel {
     pub fn message_time(&self, bytes: f64) -> f64 {
         self.latency + bytes / self.bandwidth
     }
+
+    /// This link under a [`LinkFault`]: the slowdown factor stretches
+    /// latency and divides bandwidth, and lossy links pay the expected
+    /// retransmission count `1/(1−p)` on both terms — so
+    /// `message_time` under the degraded model is the *expected* delivery
+    /// time including retries.
+    pub fn degraded(&self, fault: &exaclim_faults::LinkFault) -> LinkModel {
+        let retries = fault.expected_transmissions();
+        assert!(fault.slowdown >= 1.0, "slowdown must be ≥ 1: {}", fault.slowdown);
+        LinkModel {
+            latency: self.latency * fault.slowdown * retries,
+            bandwidth: self.bandwidth / (fault.slowdown * retries),
+        }
+    }
 }
 
 /// All-reduce algorithm selection.
@@ -189,6 +203,24 @@ mod tests {
         );
         let ring = allreduce_time(CollectiveAlgo::Ring, 6, bytes, &LinkModel::nvlink());
         assert_eq!(hybrid, ring);
+    }
+
+    #[test]
+    fn degraded_links_stretch_costs_predictably() {
+        use exaclim_faults::LinkFault;
+        let link = LinkModel::infiniband_dual_edr();
+        // A healthy "fault" changes nothing.
+        let healthy = link.degraded(&LinkFault { src: None, dst: None, slowdown: 1.0, drop_prob: 0.0 });
+        assert_eq!(healthy.message_time(1e6), link.message_time(1e6));
+        // 2× slowdown with 50% drops: expected transmissions = 2, so the
+        // bandwidth term stretches 4× and so does latency.
+        let bad = link.degraded(&LinkFault { src: None, dst: None, slowdown: 2.0, drop_prob: 0.5 });
+        assert!((bad.latency / link.latency - 4.0).abs() < 1e-12);
+        assert!((link.bandwidth / bad.bandwidth - 4.0).abs() < 1e-12);
+        // And a collective over the degraded link is strictly slower.
+        let t_ok = allreduce_time(CollectiveAlgo::Ring, 16, 1e8, &link);
+        let t_bad = allreduce_time(CollectiveAlgo::Ring, 16, 1e8, &bad);
+        assert!(t_bad > 3.9 * t_ok, "degraded {t_bad} vs healthy {t_ok}");
     }
 
     #[test]

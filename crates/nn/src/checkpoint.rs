@@ -10,7 +10,7 @@ use crate::param::ParamSet;
 use exaclim_tensor::{DType, Shape, Tensor};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"EXCK";
 const VERSION: u32 = 1;
@@ -64,6 +64,45 @@ pub fn save(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
 
 fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Writes an auto-checkpoint `step-NNNNNNNN.exck` under `dir` (created if
+/// missing), where `step` counts *completed* training steps. Returns the
+/// file path. Together with [`latest`] this is the periodic-snapshot side
+/// of checkpoint/restart fault tolerance.
+pub fn save_auto(params: &ParamSet, dir: impl AsRef<Path>, step: usize) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("step-{step:08}.exck"));
+    save(params, &path)?;
+    Ok(path)
+}
+
+/// Finds the most recent auto-checkpoint in `dir` (highest completed-step
+/// count wins). Returns `None` when the directory is missing or holds no
+/// `step-*.exck` files; non-checkpoint files are ignored.
+pub fn latest(dir: impl AsRef<Path>) -> io::Result<Option<(usize, PathBuf)>> {
+    let entries = match std::fs::read_dir(dir.as_ref()) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut best: Option<(usize, PathBuf)> = None;
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let step = name
+            .to_string_lossy()
+            .strip_prefix("step-")
+            .and_then(|s| s.strip_suffix(".exck"))
+            .and_then(|s| s.parse::<usize>().ok());
+        if let Some(step) = step {
+            if best.as_ref().is_none_or(|(b, _)| step > *b) {
+                best = Some((step, entry.path()));
+            }
+        }
+    }
+    Ok(best)
 }
 
 /// Loads a checkpoint into an existing parameter set. Every stored tensor
@@ -186,6 +225,43 @@ mod tests {
         std::fs::write(&path, b"not a checkpoint at all").expect("write");
         assert!(load_into(&sample_params(1), &path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        // A checkpoint must survive a round trip through the loader with
+        // zero drift: save → load → save produces the same bytes.
+        let p1 = tmp("bytes_a.exck");
+        let p2 = tmp("bytes_b.exck");
+        let a = sample_params(11);
+        save(&a, &p1).expect("first save");
+        let b = sample_params(12);
+        load_into(&b, &p1).expect("load");
+        save(&b, &p2).expect("second save");
+        let bytes1 = std::fs::read(&p1).expect("read a");
+        let bytes2 = std::fs::read(&p2).expect("read b");
+        assert_eq!(bytes1, bytes2, "checkpoint bytes drift through load/save");
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p2).ok();
+    }
+
+    #[test]
+    fn auto_checkpoints_find_the_latest() {
+        let dir = tmp("auto_dir");
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(latest(&dir).expect("missing dir is fine").is_none());
+        let params = sample_params(5);
+        save_auto(&params, &dir, 2).expect("save step 2");
+        save_auto(&params, &dir, 10).expect("save step 10");
+        save_auto(&params, &dir, 6).expect("save step 6");
+        // Unrelated files are ignored.
+        std::fs::write(dir.join("notes.txt"), b"hi").expect("write");
+        let (step, path) = latest(&dir).expect("scan").expect("checkpoints exist");
+        assert_eq!(step, 10);
+        let restored = sample_params(7);
+        load_into(&restored, path).expect("load latest");
+        assert_eq!(restored.state_hash(), params.state_hash());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

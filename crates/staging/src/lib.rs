@@ -30,4 +30,7 @@ pub mod real;
 pub mod sim;
 
 pub use assign::StagingPlan;
-pub use sim::{simulate_distributed_staging, simulate_naive_staging, StagingConfig, StagingOutcome};
+pub use sim::{
+    simulate_distributed_staging, simulate_distributed_staging_faulty, simulate_naive_staging,
+    StagingConfig, StagingOutcome,
+};

@@ -11,12 +11,13 @@
 //! Both must deliver bit-identical shards; the test suite verifies it.
 
 use crate::assign::StagingPlan;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use exaclim_climsim::cdf5::StoredSample;
 use exaclim_climsim::ClimateDataset;
+use exaclim_faults::FaultPlan;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A node's staged shard: sample index → payload.
 pub type Shard = HashMap<usize, StoredSample>;
@@ -32,6 +33,12 @@ pub struct RealStagingReport {
     pub disk_reads: usize,
     /// Sample copies forwarded over channels.
     pub forwarded: usize,
+    /// Recovery rounds run after reader-node deaths (0 on a healthy run).
+    pub retries: usize,
+    /// Samples whose filesystem ownership moved to a survivor.
+    pub reassigned_samples: usize,
+    /// Nodes that died mid-staging, in death order.
+    pub crashed_nodes: Vec<usize>,
 }
 
 /// Naive staging: every node reads all its needed samples from the shared
@@ -63,6 +70,9 @@ pub fn stage_naive(dataset: &Arc<ClimateDataset>, plan: &StagingPlan) -> RealSta
         wall_time: t0.elapsed().as_secs_f64(),
         disk_reads,
         forwarded: 0,
+        retries: 0,
+        reassigned_samples: 0,
+        crashed_nodes: Vec::new(),
     }
 }
 
@@ -139,6 +149,233 @@ pub fn stage_distributed(dataset: &Arc<ClimateDataset>, plan: &StagingPlan) -> R
         wall_time: t0.elapsed().as_secs_f64(),
         disk_reads: stats.iter().map(|s| s.0).sum(),
         forwarded: stats.iter().map(|s| s.1).sum(),
+        retries: 0,
+        reassigned_samples: 0,
+        crashed_nodes: Vec::new(),
+    }
+}
+
+/// Retry/backoff knobs for [`stage_distributed_faulty`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum staging rounds (first attempt + recovery rounds).
+    pub max_attempts: usize,
+    /// Backoff before recovery round `k` is `base_backoff · 2^(k−1)`.
+    pub base_backoff: Duration,
+    /// How long a collector waits with no traffic before concluding the
+    /// missing `Done`s will never come (a peer died).
+    pub quiet_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            quiet_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// What a node thread reports back to the staging driver.
+enum NodeRun {
+    /// Samples collected this round, disk reads, forwards.
+    Finished(Shard, usize, usize),
+    /// The node crashed (fault-injected) after this many reads; whatever
+    /// it forwarded before dying is in flight, its own partial shard is
+    /// lost, and it sent no `Done` and will never answer again.
+    Crashed(usize, usize),
+}
+
+/// Distributed staging that survives reader-node deaths.
+///
+/// Runs the [`stage_distributed`] protocol in rounds. A node whose
+/// [`FaultPlan`] entry says "crash after `k` owned reads" performs `k`
+/// reads, forwards them, then drops all its endpoints without sending
+/// `Done` — exactly the signature of a real node death. Survivors detect
+/// the silence through a quiet-period timeout, the driver reassigns the
+/// dead node's still-missing owned samples to survivors round-robin, and
+/// a recovery round (after bounded exponential backoff) re-reads them.
+/// Surviving nodes always end with complete, bit-identical shards; the
+/// report counts rounds, reassignments, and deaths.
+pub fn stage_distributed_faulty(
+    dataset: &Arc<ClimateDataset>,
+    plan: &StagingPlan,
+    faults: &FaultPlan,
+    policy: &RetryPolicy,
+) -> RealStagingReport {
+    let t0 = Instant::now();
+    let n = plan.nodes;
+    let mut owners = plan.owners.clone();
+    let mut alive = vec![true; n];
+    let mut shards: Vec<Shard> = vec![Shard::new(); n];
+    let mut disk_reads = 0usize;
+    let mut forwarded = 0usize;
+    let mut retries = 0usize;
+    let mut reassigned_samples = 0usize;
+    let mut crashed_nodes: Vec<usize> = Vec::new();
+    let mut rr = 0usize;
+
+    for attempt in 0..policy.max_attempts {
+        // What does each surviving node still miss?
+        let missing: Vec<Vec<usize>> = (0..n)
+            .map(|node| {
+                if !alive[node] {
+                    return Vec::new();
+                }
+                plan.needs[node]
+                    .iter()
+                    .copied()
+                    .filter(|s| !shards[node].contains_key(s))
+                    .collect()
+            })
+            .collect();
+        if missing.iter().all(|m| m.is_empty()) {
+            break;
+        }
+        if attempt > 0 {
+            retries += 1;
+            let backoff = policy.base_backoff * 2u32.pow((attempt - 1).min(8) as u32);
+            std::thread::sleep(backoff);
+        }
+
+        let participants: Vec<usize> = (0..n).filter(|&node| alive[node]).collect();
+        let expected_done = participants.len();
+        // Fresh channels each round (no stale traffic across rounds).
+        let mut txs: Vec<Sender<Wire>> = Vec::with_capacity(n);
+        let mut rxs: Vec<Option<Receiver<Wire>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(Some(rx));
+        }
+
+        let results: Vec<(usize, NodeRun)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = participants
+                .iter()
+                .map(|&node| {
+                    let ds = dataset.clone();
+                    let owners = owners.clone();
+                    let missing = missing.clone();
+                    let alive = alive.clone();
+                    let txs = txs.clone();
+                    let rx = rxs[node].take().expect("receiver");
+                    let quiet = policy.quiet_timeout;
+                    // The injected crash strikes once, on the node's first
+                    // staging round.
+                    let crash_after = if attempt == 0 { faults.crash_after_reads(node) } else { None };
+                    scope.spawn(move || {
+                        let mut shard = Shard::new();
+                        let mut reads = 0usize;
+                        let mut forwards = 0usize;
+                        // Phase 1: read currently-owned samples that some
+                        // surviving node still misses; forward copies.
+                        let to_read: Vec<usize> = (0..owners.len())
+                            .filter(|&s| owners[s] == node)
+                            .filter(|&s| (0..alive.len()).any(|d| alive[d] && missing[d].contains(&s)))
+                            .collect();
+                        for s in to_read {
+                            if crash_after == Some(reads) {
+                                // Node death: drop every endpoint without a
+                                // Done. Peers must detect this, not hang.
+                                return (node, NodeRun::Crashed(reads, forwards));
+                            }
+                            let payload = ds.sample(s).expect("dataset read");
+                            reads += 1;
+                            for (dst, miss) in missing.iter().enumerate() {
+                                if !alive[dst] || !miss.contains(&s) {
+                                    continue;
+                                }
+                                if dst == node {
+                                    shard.insert(s, payload.clone());
+                                } else {
+                                    forwards += 1;
+                                    // A send can only fail if the peer died
+                                    // this round; its loss is handled by the
+                                    // next round.
+                                    let _ = txs[dst].send(Wire::Sample { index: s, payload: payload.clone() });
+                                }
+                            }
+                        }
+                        if crash_after == Some(reads) {
+                            return (node, NodeRun::Crashed(reads, forwards));
+                        }
+                        for (p, _) in alive.iter().enumerate().filter(|&(_, &a)| a) {
+                            let _ = txs[p].send(Wire::Done);
+                        }
+                        // Phase 2: collect copies until every participant's
+                        // Done arrived — or the line goes quiet (someone
+                        // died mid-round).
+                        let mut done = 0usize;
+                        while done < expected_done {
+                            match rx.recv_timeout(quiet) {
+                                Ok(Wire::Sample { index, payload }) => {
+                                    shard.insert(index, payload);
+                                }
+                                Ok(Wire::Done) => done += 1,
+                                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                        (node, NodeRun::Finished(shard, reads, forwards))
+                    })
+                })
+                .collect();
+            drop(txs);
+            handles.into_iter().map(|h| h.join().expect("node thread")).collect()
+        });
+
+        // Merge deltas; record deaths.
+        let mut newly_dead: Vec<usize> = Vec::new();
+        for (node, run) in results {
+            match run {
+                NodeRun::Finished(delta, reads, fwds) => {
+                    shards[node].extend(delta);
+                    disk_reads += reads;
+                    forwarded += fwds;
+                }
+                NodeRun::Crashed(reads, fwds) => {
+                    // The dead node's partial shard dies with it; its
+                    // pre-death reads/forwards still happened (and the
+                    // forwarded copies were delivered).
+                    disk_reads += reads;
+                    forwarded += fwds;
+                    newly_dead.push(node);
+                }
+            }
+        }
+        for dead in newly_dead {
+            alive[dead] = false;
+            crashed_nodes.push(dead);
+            shards[dead].clear();
+            // Reassign the dead node's owned samples that anyone alive
+            // still misses, round-robin over survivors.
+            let survivors: Vec<usize> = (0..n).filter(|&x| alive[x]).collect();
+            if survivors.is_empty() {
+                break;
+            }
+            for (s, owner) in owners.iter_mut().enumerate() {
+                if *owner != dead {
+                    continue;
+                }
+                let still_needed = (0..n)
+                    .any(|d| alive[d] && plan.needs[d].contains(&s) && !shards[d].contains_key(&s));
+                if still_needed {
+                    *owner = survivors[rr % survivors.len()];
+                    rr += 1;
+                    reassigned_samples += 1;
+                }
+            }
+        }
+    }
+
+    RealStagingReport {
+        shards,
+        wall_time: t0.elapsed().as_secs_f64(),
+        disk_reads,
+        forwarded,
+        retries,
+        reassigned_samples,
+        crashed_nodes,
     }
 }
 
@@ -188,6 +425,83 @@ mod tests {
         let naive = stage_naive(&ds, &plan);
         assert_eq!(naive.disk_reads, 3 * 8, "naive reads every need");
         assert!(dist.forwarded > 0, "copies must flow over the network");
+    }
+
+    #[test]
+    fn faulty_staging_without_faults_matches_plain() {
+        let ds = tiny_dataset();
+        let plan = StagingPlan::build(12, 4, 6, 5);
+        let plain = stage_distributed(&ds, &plan);
+        let ft = stage_distributed_faulty(&ds, &plan, &FaultPlan::none(), &RetryPolicy::default());
+        assert_eq!(ft.retries, 0);
+        assert_eq!(ft.reassigned_samples, 0);
+        assert!(ft.crashed_nodes.is_empty());
+        // Plain staging reads every owned sample; the fault-tolerant
+        // protocol only reads samples some node actually needs, so it can
+        // read strictly fewer (never more) when the plan leaves orphans.
+        let needed: std::collections::HashSet<usize> =
+            plan.needs.iter().flatten().copied().collect();
+        assert_eq!(ft.disk_reads, needed.len(), "one read per needed sample");
+        assert!(ft.disk_reads <= plain.disk_reads);
+        for node in 0..4 {
+            assert_eq!(ft.shards[node], plain.shards[node], "node {node} shard");
+        }
+    }
+
+    #[test]
+    fn reader_death_recovers_with_reassignment() {
+        let ds = tiny_dataset();
+        let plan = StagingPlan::build(12, 4, 6, 5);
+        // Node 1 dies after reading a single owned sample.
+        let faults = FaultPlan::seeded(3).with_crash_after_reads(1, 1);
+        let ft = stage_distributed_faulty(&ds, &plan, &faults, &RetryPolicy::default());
+        assert_eq!(ft.crashed_nodes, vec![1]);
+        assert!(ft.retries >= 1, "a recovery round must run");
+        assert!(ft.reassigned_samples > 0, "dead node's samples must be reassigned");
+        // Every *survivor* ends with its complete shard, bit-identical to
+        // the healthy protocol's.
+        let reference = stage_distributed(&ds, &plan);
+        for node in [0usize, 2, 3] {
+            assert_eq!(
+                ft.shards[node].len(),
+                plan.needs[node].len(),
+                "node {node} shard complete despite the crash"
+            );
+            assert_eq!(ft.shards[node], reference.shards[node], "node {node} bit-identical");
+        }
+        assert!(ft.shards[1].is_empty(), "the dead node holds nothing");
+    }
+
+    #[test]
+    fn two_deaths_still_recover() {
+        let ds = tiny_dataset();
+        let plan = StagingPlan::build(12, 4, 6, 5);
+        let faults = FaultPlan::seeded(4)
+            .with_crash_after_reads(0, 0) // dies before reading anything
+            .with_crash_after_reads(2, 2);
+        let ft = stage_distributed_faulty(&ds, &plan, &faults, &RetryPolicy::default());
+        let mut dead = ft.crashed_nodes.clone();
+        dead.sort_unstable();
+        assert_eq!(dead, vec![0, 2]);
+        let reference = stage_distributed(&ds, &plan);
+        for node in [1usize, 3] {
+            assert_eq!(ft.shards[node], reference.shards[node], "survivor {node} complete");
+        }
+    }
+
+    #[test]
+    fn faulty_staging_replay_is_deterministic() {
+        let ds = tiny_dataset();
+        let plan = StagingPlan::build(12, 3, 8, 6);
+        let faults = FaultPlan::seeded(9).with_crash_after_reads(2, 1);
+        let a = stage_distributed_faulty(&ds, &plan, &faults, &RetryPolicy::default());
+        let b = stage_distributed_faulty(&ds, &plan, &faults, &RetryPolicy::default());
+        assert_eq!(a.crashed_nodes, b.crashed_nodes);
+        assert_eq!(a.reassigned_samples, b.reassigned_samples);
+        assert_eq!(a.shards.len(), b.shards.len());
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(x, y, "replayed shards bit-identical");
+        }
     }
 
     #[test]

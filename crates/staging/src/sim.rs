@@ -9,7 +9,8 @@
 //! event simulation captures.
 
 use crate::assign::StagingPlan;
-use exaclim_hpcsim::event::Simulator;
+use exaclim_faults::FaultPlan;
+use exaclim_hpcsim::event::{Faulted, Simulator};
 use exaclim_hpcsim::fs::SharedFilesystem;
 use exaclim_hpcsim::net::LinkModel;
 
@@ -51,7 +52,7 @@ impl StagingConfig {
 }
 
 /// Result of a staging simulation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StagingOutcome {
     /// Wall time to fully stage every node, seconds.
     pub total_time: f64,
@@ -61,6 +62,13 @@ pub struct StagingOutcome {
     pub network_bytes: f64,
     /// Mean times each file was read from the filesystem.
     pub fs_reads_per_file: f64,
+    /// Reader nodes that crashed mid-staging.
+    pub crashed_nodes: u32,
+    /// Read chunks reassigned from crashed nodes to survivors.
+    pub reassigned_chunks: u32,
+    /// Recovery rounds (one per crash, each paying a detection +
+    /// re-dispatch backoff before the re-reads start).
+    pub retries: u32,
 }
 
 /// Naive staging: every node reads its own overlapping subset directly.
@@ -76,21 +84,46 @@ pub fn simulate_naive_staging(cfg: &StagingConfig) -> StagingOutcome {
         fs_bytes_read: fs_bytes,
         network_bytes: 0.0,
         fs_reads_per_file: cfg.nodes as f64 * cfg.samples_per_node as f64 / cfg.n_samples as f64,
+        crashed_nodes: 0,
+        reassigned_chunks: 0,
+        retries: 0,
     }
 }
 
 #[derive(Debug)]
 enum Ev {
-    /// Node finished reading one owned chunk (of `n_chunks` per node).
-    ReadDone { node: usize, chunk: usize },
+    /// Node finished reading one owned chunk.
+    ReadDone { node: usize },
     /// A forwarded copy arrived at its destination.
     SendDone { from: usize },
 }
 
+/// Seconds a survivor waits before picking up a crashed node's work:
+/// bounded exponential backoff in the number of crashes seen so far
+/// (failure detection + work re-dispatch are not free at 4560 nodes).
+fn reassign_backoff(crashes_so_far: u32) -> f64 {
+    (0.5 * 2.0f64.powi(crashes_so_far.saturating_sub(1) as i32)).min(8.0)
+}
+
 /// Distributed staging: disjoint reads + P2P redistribution, overlapped,
-/// via the event engine. Chunked at `chunks_per_node` granularity to keep
-/// event counts tractable at full machine scale.
+/// via the event engine. Healthy-machine case of
+/// [`simulate_distributed_staging_faulty`].
 pub fn simulate_distributed_staging(cfg: &StagingConfig) -> StagingOutcome {
+    simulate_distributed_staging_faulty(cfg, &FaultPlan::none())
+}
+
+/// Distributed staging under an injected [`FaultPlan`].
+///
+/// Timed node crashes ([`exaclim_faults::CrashPoint::Time`]) kill a
+/// reader mid-staging: its already-forwarded chunks survive, but every
+/// chunk it had not finished reading is reassigned round-robin to the
+/// surviving readers after a bounded-exponential detection backoff, and
+/// the survivors re-read those chunks from the filesystem (the disjoint
+/// ownership guarantee means nothing else holds a copy). Stragglers
+/// stretch a node's read and send times; link faults degrade its egress
+/// pipe. Everything is a pure function of `(cfg, plan)` — replaying the
+/// same seeded plan reproduces the outcome bit-for-bit.
+pub fn simulate_distributed_staging_faulty(cfg: &StagingConfig, faults: &FaultPlan) -> StagingOutcome {
     let plan = StagingPlan::build(cfg.n_samples, cfg.nodes, cfg.samples_per_node, cfg.seed);
     let owned_per_node = cfg.n_samples.div_ceil(cfg.nodes);
     let read_bw = cfg.fs.contended_bw(cfg.nodes, cfg.reader_threads);
@@ -109,46 +142,109 @@ pub fn simulate_distributed_staging(cfg: &StagingConfig) -> StagingOutcome {
         }
     }
 
-    // Event simulation: each node reads its partition in `chunks` pieces;
-    // as each chunk lands, the proportional share of its outgoing copies
-    // is sent (serialized on the node's injection bandwidth).
+    // Per-node effective rates under stragglers and egress link faults.
     let chunks = 8usize;
     let chunk_bytes = owned_per_node as f64 * cfg.sample_bytes / chunks as f64;
-    let read_time = chunk_bytes / read_bw;
-    let mut sim: Simulator<Ev> = Simulator::new();
-    for node in 0..cfg.nodes {
-        sim.schedule_at(read_time, Ev::ReadDone { node, chunk: 0 });
+    let read_time: Vec<f64> = (0..cfg.nodes)
+        .map(|n| chunk_bytes / read_bw * faults.straggler_factor(n))
+        .collect();
+    let egress: Vec<LinkModel> = (0..cfg.nodes)
+        .map(|n| cfg.interconnect.degraded(&faults.egress_fault(n)))
+        .collect();
+
+    // Event simulation: each node reads its pending chunks one at a time;
+    // as each chunk lands, one queued share of outgoing copies is sent
+    // (serialized on the node's injection bandwidth). A chunk's share is
+    // tracked in a queue so reassigned chunks carry the *dead* node's
+    // forwarding burden to their new reader.
+    let mut share_queue: Vec<std::collections::VecDeque<f64>> = (0..cfg.nodes)
+        .map(|n| (0..chunks).map(|_| send_bytes[n] / chunks as f64).collect())
+        .collect();
+    let mut sim: Simulator<Faulted<Ev>> = Simulator::with_fault_plan(faults);
+    for (node, &t) in read_time.iter().enumerate() {
+        sim.schedule_app_at(t, Ev::ReadDone { node });
     }
+    let mut alive = vec![true; cfg.nodes];
+    let mut reading = vec![true; cfg.nodes];
     let mut sender_busy_until = vec![0.0f64; cfg.nodes];
     let mut node_done = vec![0.0f64; cfg.nodes];
+    let mut crashed_nodes = 0u32;
+    let mut reassigned_chunks = 0u32;
+    let mut retries = 0u32;
+    let mut extra_fs_bytes = 0.0f64;
+    let mut rr = 0usize; // round-robin cursor over survivors
+
     while let Some((now, ev)) = sim.pop() {
         match ev {
-            Ev::ReadDone { node, chunk } => {
-                if chunk + 1 < chunks {
-                    sim.schedule_in(read_time, Ev::ReadDone { node, chunk: chunk + 1 });
+            Faulted::App(Ev::ReadDone { node }) => {
+                if !alive[node] {
+                    continue; // the in-flight read died with its node
                 }
-                // Forward this chunk's share of the node's outgoing copies.
-                let share = send_bytes[node] / chunks as f64;
+                let share = share_queue[node].pop_front().unwrap_or(0.0);
+                if share_queue[node].is_empty() {
+                    reading[node] = false;
+                } else {
+                    sim.schedule_app_in(read_time[node], Ev::ReadDone { node });
+                }
+                // Forward this chunk's share of outgoing copies.
                 if share > 0.0 {
                     let start = sender_busy_until[node].max(now);
-                    let t = cfg.interconnect.latency + share / cfg.interconnect.bandwidth;
+                    let t = egress[node].message_time(share);
                     sender_busy_until[node] = start + t;
-                    sim.schedule_at(start + t, Ev::SendDone { from: node });
+                    sim.schedule_app_at(start + t, Ev::SendDone { from: node });
                 } else {
                     node_done[node] = node_done[node].max(now);
                 }
             }
-            Ev::SendDone { from } => {
-                node_done[from] = node_done[from].max(now);
+            Faulted::App(Ev::SendDone { from }) => {
+                if alive[from] {
+                    node_done[from] = node_done[from].max(now);
+                }
+            }
+            Faulted::Crash(c) => {
+                let dead = c.node;
+                if dead >= cfg.nodes || !alive[dead] {
+                    continue;
+                }
+                alive[dead] = false;
+                crashed_nodes += 1;
+                node_done[dead] = 0.0;
+                let survivors: Vec<usize> = (0..cfg.nodes).filter(|&n| alive[n]).collect();
+                if survivors.is_empty() {
+                    break; // everyone is gone; staging cannot complete
+                }
+                // Unfinished chunks (including the one in flight) move to
+                // survivors round-robin, each re-read from the filesystem
+                // after the detection backoff.
+                let lost: Vec<f64> = share_queue[dead].drain(..).collect();
+                reading[dead] = false;
+                if !lost.is_empty() {
+                    retries += 1; // one recovery round for this crash
+                }
+                let backoff = reassign_backoff(crashed_nodes);
+                for share in lost {
+                    let s = survivors[rr % survivors.len()];
+                    rr += 1;
+                    reassigned_chunks += 1;
+                    extra_fs_bytes += chunk_bytes;
+                    share_queue[s].push_back(share);
+                    if !reading[s] {
+                        reading[s] = true;
+                        sim.schedule_app_in(backoff + read_time[s], Ev::ReadDone { node: s });
+                    }
+                }
             }
         }
     }
     let total_time = node_done.iter().cloned().fold(0.0, f64::max);
     StagingOutcome {
         total_time,
-        fs_bytes_read: cfg.n_samples as f64 * cfg.sample_bytes,
+        fs_bytes_read: cfg.n_samples as f64 * cfg.sample_bytes + extra_fs_bytes,
         network_bytes,
-        fs_reads_per_file: 1.0,
+        fs_reads_per_file: 1.0 + extra_fs_bytes / (cfg.n_samples as f64 * cfg.sample_bytes),
+        crashed_nodes,
+        reassigned_chunks,
+        retries,
     }
 }
 
@@ -217,6 +313,93 @@ mod tests {
         );
         // And it reads far less from the shared filesystem.
         assert!(dist.fs_bytes_read * 5.0 < naive.fs_bytes_read);
+    }
+
+    #[test]
+    fn healthy_fault_plan_changes_nothing() {
+        let cfg = summit_scaled(64);
+        let base = simulate_distributed_staging(&cfg);
+        let faulty = simulate_distributed_staging_faulty(&cfg, &FaultPlan::none());
+        assert_eq!(base, faulty, "empty plan must be a bitwise no-op");
+        assert_eq!(base.crashed_nodes, 0);
+        assert_eq!(base.retries, 0);
+    }
+
+    #[test]
+    fn node_crash_mid_staging_recovers_with_reassignment() {
+        let cfg = summit_scaled(64);
+        let base = simulate_distributed_staging(&cfg);
+        // Kill node 3 halfway through the healthy staging window.
+        let plan = FaultPlan::seeded(11).with_crash_at_time(3, base.total_time / 2.0);
+        let out = simulate_distributed_staging_faulty(&cfg, &plan);
+        assert_eq!(out.crashed_nodes, 1);
+        assert_eq!(out.retries, 1);
+        assert!(out.reassigned_chunks > 0, "unread chunks must move to survivors");
+        assert!(out.reassigned_chunks <= 8, "at most the node's chunk count");
+        assert!(out.total_time > base.total_time, "recovery costs time");
+        assert!(
+            out.fs_bytes_read > base.fs_bytes_read,
+            "reassigned chunks are re-read from the filesystem"
+        );
+        assert!(out.fs_reads_per_file > 1.0);
+    }
+
+    #[test]
+    fn crash_after_staging_finishes_costs_nothing() {
+        let cfg = summit_scaled(32);
+        let base = simulate_distributed_staging(&cfg);
+        let plan = FaultPlan::seeded(1).with_crash_at_time(0, base.total_time * 10.0);
+        let out = simulate_distributed_staging_faulty(&cfg, &plan);
+        assert_eq!(out.crashed_nodes, 1, "the crash still happens");
+        assert_eq!(out.retries, 0, "but there is no lost work to retry");
+        assert_eq!(out.total_time, base.total_time);
+    }
+
+    #[test]
+    fn seeded_fault_replay_is_bit_identical() {
+        let cfg = summit_scaled(48);
+        let chaos = exaclim_faults::ChaosConfig {
+            crash_prob: 0.08,
+            horizon: 60,
+            ..exaclim_faults::ChaosConfig::default()
+        };
+        // Random timed crashes: derive from the seeded plan's step crashes.
+        let mut plan = FaultPlan::seeded(99);
+        for c in FaultPlan::random(99, 48, &chaos).crashes {
+            if let exaclim_faults::CrashPoint::Step(s) = c.at {
+                plan = plan.with_crash_at_time(c.node, 1.0 + s as f64);
+            }
+        }
+        plan = plan.with_straggler(5, 2.0);
+        let a = simulate_distributed_staging_faulty(&cfg, &plan);
+        let b = simulate_distributed_staging_faulty(&cfg, &plan);
+        assert_eq!(a, b, "same seeded plan must replay bit-identically");
+        assert!(
+            a.total_time.to_bits() == b.total_time.to_bits()
+                && a.fs_bytes_read.to_bits() == b.fs_bytes_read.to_bits(),
+            "float fields identical to the bit"
+        );
+    }
+
+    #[test]
+    fn stragglers_and_link_faults_slow_staging() {
+        let cfg = summit_scaled(32);
+        let base = simulate_distributed_staging(&cfg);
+        let slow = simulate_distributed_staging_faulty(
+            &cfg,
+            &FaultPlan::none().with_straggler(0, 4.0),
+        );
+        assert!(slow.total_time > base.total_time, "a 4× straggler gates completion");
+        let lossy = simulate_distributed_staging_faulty(
+            &cfg,
+            &FaultPlan::none().with_link_fault(exaclim_faults::LinkFault {
+                src: Some(1),
+                dst: None,
+                slowdown: 3.0,
+                drop_prob: 0.25,
+            }),
+        );
+        assert!(lossy.total_time > base.total_time, "a degraded egress link slows its sends");
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the group/bench API surface the bench binaries use
+//! (`benchmark_group`, `sample_size`, `measurement_time`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `criterion_group!`,
+//! `criterion_main!`) with a simple median-of-samples timer that prints
+//! one line per benchmark. No statistical analysis or HTML reports — the
+//! goal is that `cargo bench` compiles, runs, and produces comparable
+//! numbers across commits.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A fresh harness.
+    pub fn new() -> Criterion {
+        Criterion {}
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench("", name, 10, Duration::from_secs(1), f);
+        self
+    }
+}
+
+/// A named parameterized benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_bench(&self.name, &id.0, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchId>, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_bench(&self.name, &id.0, self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Accepts either a `&str` or a [`BenchmarkId`] as a benchmark name.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> BenchId {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> BenchId {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> BenchId {
+        BenchId(id.label)
+    }
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample per outer invocation.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let t0 = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            hint::black_box(routine());
+        }
+        self.samples.push(t0.elapsed() / self.iters_per_sample as u32);
+    }
+}
+
+/// Opaque value sink, re-exported for bench code.
+pub fn black_box<T>(v: T) -> T {
+    hint::black_box(v)
+}
+
+fn run_bench<F>(group: &str, name: &str, sample_size: usize, measurement_time: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One calibration pass: how long is a single sample?
+    let mut bench = Bencher { samples: Vec::new(), iters_per_sample: 1 };
+    let cal0 = Instant::now();
+    f(&mut bench);
+    let calibration = cal0.elapsed().max(Duration::from_nanos(1));
+    // Keep total time near the requested budget.
+    let budget_samples = (measurement_time.as_secs_f64() / calibration.as_secs_f64()) as usize;
+    let samples = sample_size.min(budget_samples.max(2));
+    for _ in 1..samples {
+        f(&mut bench);
+    }
+    bench.samples.sort_unstable();
+    let median = bench.samples[bench.samples.len() / 2];
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!(
+        "bench {label:<48} median {:>12.3?}   ({} samples)",
+        median,
+        bench.samples.len()
+    );
+}
+
+/// Declares a benchmark group function calling each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3).measurement_time(Duration::from_millis(20));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| {
+            b.iter(|| n * n);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline stand-in for `crossbeam` (the `channel` module subset).
+//!
+//! Multi-producer multi-consumer FIFO channels with clonable endpoints,
+//! capacity bounds, timeouts, and disconnect detection — the exact
+//! surface the staging/comm/pipeline crates use. Built on a
+//! `Mutex<VecDeque>` plus two condvars; not lock-free like the real
+//! crate, but semantically equivalent and fast enough for thread-rank
+//! experiments.
+
+pub mod channel {
+    //! MPMC channels.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; clonable.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline passed with no message.
+        Timeout,
+        /// Empty and all senders dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::send_timeout`]; carries the unsent value.
+    #[derive(PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// Deadline passed with the channel still full.
+        Timeout(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => write!(f, "SendTimeoutError::Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => write!(f, "SendTimeoutError::Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded FIFO channel of capacity `cap` (minimum 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (
+            Sender { shared: shared.clone() },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.queue.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if st.items.len() >= cap => {
+                        st = self.shared.not_full.wait(st).unwrap();
+                    }
+                    _ => {
+                        st.items.push_back(value);
+                        drop(st);
+                        self.shared.not_empty.notify_one();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        /// Sends with a deadline; returns the value on timeout/disconnect.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                match self.shared.capacity {
+                    Some(cap) if st.items.len() >= cap => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(SendTimeoutError::Timeout(value));
+                        }
+                        let (guard, _timed_out) = self
+                            .shared
+                            .not_full
+                            .wait_timeout(st, deadline - now)
+                            .unwrap();
+                        st = guard;
+                    }
+                    _ => {
+                        st.items.push_back(value);
+                        drop(st);
+                        self.shared.not_empty.notify_one();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.shared.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.shared.queue.lock().unwrap();
+            if let Some(v) = st.items.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receives with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap();
+                st = guard;
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().items.len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn fifo_across_threads() {
+            let (tx, rx) = unbounded();
+            let producer = thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+            producer.join().unwrap();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert!(matches!(
+                tx.send_timeout(3, Duration::from_millis(10)),
+                Err(SendTimeoutError::Timeout(3))
+            ));
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.send(3).unwrap();
+        }
+
+        #[test]
+        fn disconnect_is_reported() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn timeout_then_delivery() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(7));
+        }
+
+        #[test]
+        fn try_recv_states() {
+            let (tx, rx) = unbounded();
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(1).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+    }
+}

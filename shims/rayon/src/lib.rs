@@ -1,0 +1,121 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Maps the `par_*` slice entry points used by the tensor kernels onto
+//! ordinary sequential iterators. The kernels only rely on rayon for
+//! *speed*, never semantics (each chunk is independent), so a sequential
+//! fallback is observationally identical. Standard `Iterator` adapters
+//! (`enumerate`, `zip`, `for_each`, …) then compose exactly as the real
+//! parallel iterators do at these call sites.
+
+pub mod prelude {
+    //! `use rayon::prelude::*` surface.
+
+    /// Parallel (here: sequential) mutable slice chunking.
+    pub trait ParallelSliceMut<T> {
+        /// Chunked mutable iteration; stands in for rayon's
+        /// `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// Parallel (here: sequential) shared slice chunking.
+    pub trait ParallelSlice<T> {
+        /// Stands in for rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Parallel (here: sequential) iteration over slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Stands in for rayon's `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        type Iter = std::slice::Iter<'a, T>;
+
+        fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+            self.as_slice().iter()
+        }
+    }
+
+    /// Parallel (here: sequential) mutable iteration over slices.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Item type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Stands in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        type Iter = std::slice::IterMut<'a, T>;
+
+        fn par_iter_mut(&'a mut self) -> std::slice::IterMut<'a, T> {
+            self.iter_mut()
+        }
+    }
+}
+
+/// Current "thread pool" width: always 1 in the sequential fallback.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_composes_like_rayon() {
+        let mut v = vec![0u32; 12];
+        v.par_chunks_mut(4).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn zip_over_two_chunked_slices() {
+        let mut a = vec![1u32; 8];
+        let mut b = vec![2u32; 8];
+        a.par_chunks_mut(4)
+            .zip(b.par_chunks_mut(4))
+            .for_each(|(xa, xb)| {
+                for (u, v) in xa.iter_mut().zip(xb.iter_mut()) {
+                    *u += *v;
+                }
+            });
+        assert_eq!(a, vec![3u32; 8]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model/config types
+//! as a statement of intent but never routes data through serde (file
+//! formats are hand-rolled). This shim re-exports no-op derives from the
+//! companion proc-macro crate; the marker traits exist so `use
+//! serde::{Serialize, Deserialize}` keeps resolving if a bound ever
+//! appears.
+
+pub use serde_derive_shim::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::ser::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker stand-in for `serde::de::Deserialize`.
+pub trait DeserializeMarker {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only uses the derives as documentation of intent — no
+//! code path actually serializes through serde (the on-disk formats are
+//! hand-rolled binary writers). Emitting an empty token stream keeps the
+//! attribute valid without pulling in syn/quote, which the offline build
+//! environment does not have.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

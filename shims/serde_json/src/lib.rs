@@ -1,0 +1,190 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides a tiny ordered JSON value tree plus a string writer — enough
+//! for benchmark binaries to emit machine-readable artifacts without the
+//! real crate. (No parser: nothing in the workspace reads JSON back.)
+
+use std::fmt::Write as _;
+
+/// An ordered JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any finite number (serialized via `{}` on f64).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => {
+            if n.is_finite() {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            if pretty && !items.is_empty() {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            if pretty && !fields.is_empty() {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serializes a [`Value`] compactly.
+pub fn to_string(v: &Value) -> Result<String, std::convert::Infallible> {
+    let mut out = String::new();
+    write_value(&mut out, v, 0, false);
+    Ok(out)
+}
+
+/// Serializes a [`Value`] with two-space indentation.
+pub fn to_string_pretty(v: &Value) -> Result<String, std::convert::Infallible> {
+    let mut out = String::new();
+    write_value(&mut out, v, 0, true);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::json!($val)) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_roundtrips_to_expected_text() {
+        let v = json!({
+            "name": "staging",
+            "nodes": 4usize,
+            "ok": true,
+            "times": [1.5f64, 2.0f64],
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"name":"staging","nodes":4,"ok":true,"times":[1.5,2]}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::String("a\"b\\c\nd".to_string());
+        assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\nd""#);
+    }
+}
