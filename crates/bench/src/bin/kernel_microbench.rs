@@ -1,0 +1,183 @@
+//! Kernel backend microbenchmark: blocked GEMM vs the naive seed kernel,
+//! plus conv2d forward/backward and batch norm at 1 vs 4 pool threads.
+//!
+//! Establishes the compute-kernel baseline every future perf PR is
+//! measured against, at paper-relevant shapes (16-channel 3×3 layers on
+//! 1152×768-derived tiles). Writes `BENCH_kernels.json` in the working
+//! directory and prints the same numbers as a table.
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin kernel_microbench
+//! ```
+//!
+//! Thread-count speedups are *measured, not asserted*: on a single-core
+//! container the 4-thread rows will legitimately show ~1×. Outputs are
+//! bit-identical across widths regardless (see the determinism tests), so
+//! the numbers stay comparable across machines.
+
+use exaclim_tensor::init::{randn, seeded_rng};
+use exaclim_tensor::ops::gemm::gemm_noprofile;
+use exaclim_tensor::ops::{
+    batchnorm_forward, conv2d_backward, conv2d_forward, Conv2dParams, ConvAlgo,
+};
+use exaclim_tensor::{kernel_threads, set_kernel_threads, DType, Tensor};
+use serde_json::json;
+use std::time::Instant;
+
+/// The seed repository's GEMM: an unblocked, unpacked i-k-j triple loop
+/// (single-threaded here — the historical baseline the blocked kernel is
+/// measured against).
+fn naive_gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for kk in 0..k {
+            let a_ik = a[i * k + kk];
+            if a_ik == 0.0 {
+                continue;
+            }
+            let (b_row, c_row) = (&b[kk * n..(kk + 1) * n], &mut c[i * n..(i + 1) * n]);
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_ij += a_ik * b_kj;
+            }
+        }
+    }
+}
+
+/// Best-of-`reps` wall time in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let reps = 3;
+
+    // --- GEMM: the im2col contraction of a 16→64-channel 3×3 layer on a
+    // quarter of a 1152×768 tile (patch depth 16·3·3 = 144).
+    let (m, k, n) = (64usize, 144usize, 110_592usize);
+    let mut rng = seeded_rng(7);
+    let a = randn([m, k], DType::F32, 1.0, &mut rng);
+    let b = randn([k, n], DType::F32, 1.0, &mut rng);
+    set_kernel_threads(1);
+    let naive_ms = time_ms(reps, || {
+        let mut c = vec![0.0f32; m * n];
+        naive_gemm(m, n, k, a.as_slice(), b.as_slice(), &mut c);
+        std::hint::black_box(&c);
+    });
+    let blocked_1t_ms = time_ms(reps, || {
+        let mut c = vec![0.0f32; m * n];
+        gemm_noprofile(m, n, k, a.as_slice(), b.as_slice(), &mut c);
+        std::hint::black_box(&c);
+    });
+    set_kernel_threads(4);
+    let blocked_4t_ms = time_ms(reps, || {
+        let mut c = vec![0.0f32; m * n];
+        gemm_noprofile(m, n, k, a.as_slice(), b.as_slice(), &mut c);
+        std::hint::black_box(&c);
+    });
+    let gflop = 2.0 * (m * n * k) as f64 / 1e9;
+    println!("gemm {m}×{k}·{k}×{n} ({gflop:.2} GFLOP)");
+    println!("  naive 1t   : {naive_ms:9.2} ms  ({:.2} GFLOP/s)", gflop / naive_ms * 1e3);
+    println!(
+        "  blocked 1t : {blocked_1t_ms:9.2} ms  ({:.2} GFLOP/s, {:.2}× over naive)",
+        gflop / blocked_1t_ms * 1e3,
+        naive_ms / blocked_1t_ms
+    );
+    println!(
+        "  blocked 4t : {blocked_4t_ms:9.2} ms  ({:.2} GFLOP/s, {:.2}× over 1t)",
+        gflop / blocked_4t_ms * 1e3,
+        blocked_1t_ms / blocked_4t_ms
+    );
+
+    // --- conv2d fwd/bwd: 16→16-channel 3×3 on a half-resolution paper
+    // tile (576×384), both lowering strategies for forward.
+    let x = randn([1, 16, 576, 384], DType::F32, 1.0, &mut rng);
+    let w = randn([16, 16, 3, 3], DType::F32, 0.3, &mut rng);
+    let p = Conv2dParams::padded(1);
+    let conv = |threads: usize| {
+        set_kernel_threads(threads);
+        let direct = time_ms(reps, || {
+            std::hint::black_box(conv2d_forward(&x, &w, p, ConvAlgo::Direct));
+        });
+        let im2col = time_ms(reps, || {
+            std::hint::black_box(conv2d_forward(&x, &w, p, ConvAlgo::Im2colGemm));
+        });
+        let y = conv2d_forward(&x, &w, p, ConvAlgo::Direct);
+        let bwd = time_ms(reps, || {
+            std::hint::black_box(conv2d_backward(&x, &w, &y, p));
+        });
+        (direct, im2col, bwd)
+    };
+    let (fwd_direct_1t, fwd_im2col_1t, bwd_1t) = conv(1);
+    let (fwd_direct_4t, fwd_im2col_4t, bwd_4t) = conv(4);
+    println!("conv2d 16→16 3×3 on 576×384 (pad 1)");
+    println!("  fwd direct : {fwd_direct_1t:9.2} ms 1t | {fwd_direct_4t:9.2} ms 4t ({:.2}×)", fwd_direct_1t / fwd_direct_4t);
+    println!("  fwd im2col : {fwd_im2col_1t:9.2} ms 1t | {fwd_im2col_4t:9.2} ms 4t ({:.2}×)", fwd_im2col_1t / fwd_im2col_4t);
+    println!("  bwd        : {bwd_1t:9.2} ms 1t | {bwd_4t:9.2} ms 4t ({:.2}×)", bwd_1t / bwd_4t);
+
+    // --- batch norm on a full 1152×768 16-channel tile.
+    let xb = randn([2, 16, 1152, 768], DType::F32, 1.0, &mut rng);
+    let gamma = Tensor::full([16], DType::F32, 1.0);
+    let beta = Tensor::zeros([16], DType::F32);
+    set_kernel_threads(1);
+    let bn_1t = time_ms(reps, || {
+        std::hint::black_box(batchnorm_forward(&xb, &gamma, &beta, 1e-5, None));
+    });
+    set_kernel_threads(4);
+    let bn_4t = time_ms(reps, || {
+        std::hint::black_box(batchnorm_forward(&xb, &gamma, &beta, 1e-5, None));
+    });
+    set_kernel_threads(1);
+    println!("batchnorm [2,16,1152,768]");
+    println!("  fwd        : {bn_1t:9.2} ms 1t | {bn_4t:9.2} ms 4t ({:.2}×)", bn_1t / bn_4t);
+
+    // The in-tree json! macro takes single-token values: bind everything
+    // computed to a local first.
+    let pool_width = kernel_threads();
+    let host_parallelism = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let blocked_vs_naive_1t = naive_ms / blocked_1t_ms;
+    let blocked_4t_vs_1t = blocked_1t_ms / blocked_4t_ms;
+    let fwd_direct_speedup = fwd_direct_1t / fwd_direct_4t;
+    let fwd_im2col_speedup = fwd_im2col_1t / fwd_im2col_4t;
+    let bwd_speedup = bwd_1t / bwd_4t;
+    let bn_speedup = bn_1t / bn_4t;
+    let report = json!({
+        "pool_default_width": pool_width,
+        "host_parallelism": host_parallelism,
+        "gemm": {
+            "m": m, "k": k, "n": n,
+            "gflop": gflop,
+            "naive_1t_ms": naive_ms,
+            "blocked_1t_ms": blocked_1t_ms,
+            "blocked_4t_ms": blocked_4t_ms,
+            "blocked_vs_naive_1t": blocked_vs_naive_1t,
+            "blocked_4t_vs_1t": blocked_4t_vs_1t,
+        },
+        "conv2d": {
+            "shape": "x[1,16,576,384] w[16,16,3,3] pad1",
+            "fwd_direct_1t_ms": fwd_direct_1t,
+            "fwd_direct_4t_ms": fwd_direct_4t,
+            "fwd_direct_4t_speedup": fwd_direct_speedup,
+            "fwd_im2col_1t_ms": fwd_im2col_1t,
+            "fwd_im2col_4t_ms": fwd_im2col_4t,
+            "fwd_im2col_4t_speedup": fwd_im2col_speedup,
+            "bwd_1t_ms": bwd_1t,
+            "bwd_4t_ms": bwd_4t,
+            "bwd_4t_speedup": bwd_speedup,
+        },
+        "batchnorm": {
+            "shape": "x[2,16,1152,768]",
+            "fwd_1t_ms": bn_1t,
+            "fwd_4t_ms": bn_4t,
+            "fwd_4t_speedup": bn_speedup,
+        },
+    });
+    let path = "BENCH_kernels.json";
+    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize") + "\n")
+        .expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

@@ -16,6 +16,7 @@
 //! | `loss_weighting` | §V-B1 weighting-scheme stability study |
 //! | `ablations` | design-choice ablations (growth rate, decoder resolution, collectives, fusion, weak-vs-strong scaling) |
 //! | `time_to_solution` | §II/§VII-C end-to-end wall-clock estimates |
+//! | `kernel_microbench` | CPU-backend baseline: blocked GEMM vs naive, conv2d/batch-norm at 1 vs 4 threads (`BENCH_kernels.json`) |
 //!
 //! Criterion microbenchmarks (`cargo bench`) cover the kernels,
 //! collectives and input pipeline.

@@ -192,11 +192,20 @@ impl Coordinator {
             if order.len() == self.n_tensors {
                 return Ok(order);
             }
-            // Still incomplete: a peer whose communicator dropped can never
-            // report or relay, so the round cannot finish. Surface the
-            // death. (Checked only after the completion test so a finished
-            // peer exiting early never reads as a failure.)
-            if let Some(&dead) = comm.dead_peers().first() {
+            // Still incomplete: a parent or child whose communicator
+            // dropped can never report or relay, so the round cannot
+            // finish. Surface the death. Only *tree edges* count: an
+            // off-edge peer (e.g. the root, seen from a leaf) legitimately
+            // completes and drops early — its channel to us never carries
+            // protocol traffic, so its exit is not a failure. An on-edge
+            // peer cannot finish while we are incomplete (begins are
+            // relayed downward before being adopted), so a dead edge is
+            // always a genuine loss.
+            if let Some(dead) = comm
+                .dead_peers()
+                .into_iter()
+                .find(|&d| Some(d) == parent || children.contains(&d))
+            {
                 return Err(CommError::PeerDead { rank, src: dead });
             }
             // No message and no completion within the deadline: name the

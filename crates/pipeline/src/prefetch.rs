@@ -51,6 +51,19 @@ pub struct PrefetchConfig {
     pub dtype: DType,
 }
 
+impl PrefetchConfig {
+    /// Reader-worker count sized to the host: the kernel pool's width
+    /// (`EXACLIM_NUM_THREADS` → `available_parallelism`), at least 1.
+    ///
+    /// Every worker count used by the paper-replication benches is
+    /// *semantic* — the paper's fixed reader-thread sweeps (§V-A2) — and
+    /// stays explicit. This helper is for callers that want a sensible
+    /// host-matched default instead.
+    pub fn auto_workers() -> usize {
+        rayon::current_num_threads().max(1)
+    }
+}
+
 /// Live pipeline counters.
 #[derive(Debug, Default)]
 pub struct PipelineStats {
@@ -236,6 +249,13 @@ mod tests {
             class_weights: vec![1.0, 10.0, 5.0],
             dtype: DType::F32,
         }
+    }
+
+    #[test]
+    fn auto_workers_matches_the_kernel_pool() {
+        let w = PrefetchConfig::auto_workers();
+        assert!(w >= 1);
+        assert_eq!(w, exaclim_tensor::kernel_threads().max(1));
     }
 
     #[test]

@@ -32,6 +32,21 @@ pub use crate::half::F16;
 pub use crate::shape::Shape;
 pub use crate::tensor::{DType, Tensor};
 
+/// Sets the kernel thread-pool width for subsequent ops (clamped to a
+/// sane range by the pool). Results are bit-identical at any width — the
+/// parallel partitioning is shape-dependent only — so this trades wall
+/// time, never numerics. Prefer the `EXACLIM_NUM_THREADS` environment
+/// variable for whole-process configuration; this call is for tests and
+/// benchmarks that compare widths in one process.
+pub fn set_kernel_threads(n: usize) {
+    rayon::set_num_threads(n);
+}
+
+/// Current kernel thread-pool width.
+pub fn kernel_threads() -> usize {
+    rayon::current_num_threads()
+}
+
 /// Errors produced by tensor operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TensorError {

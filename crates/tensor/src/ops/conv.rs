@@ -10,7 +10,7 @@
 //! *implicit GEMMs*: [`ConvAlgo::Direct`] and [`ConvAlgo::Im2colGemm`].
 //! Both count the same `2·N·K·C·R·S·Ho·Wo` FLOPs.
 
-use crate::ops::gemm::{gemm_a_bt, gemm_noprofile};
+use crate::ops::gemm::{gemm_a_bt, gemm_noprofile, gemm_strided};
 use crate::profile::{self, KernelKind};
 use crate::shape::conv_out_dim;
 use crate::tensor::Tensor;
@@ -191,19 +191,54 @@ fn im2col(
     }
 }
 
+/// Output pixels per im2col strip. Bounds the column-buffer footprint at
+/// `C·R·S·COL_STRIP` floats regardless of image size — a full 1152×768
+/// paper tile with 48·3·3 patch rows would otherwise need a ~1.5 GB
+/// buffer. Fixed (not thread-count-dependent), so the strip partitioning
+/// and hence the floating-point evaluation order never change.
+const COL_STRIP: usize = 8192;
+
 fn forward_im2col(x: &Tensor, w: &Tensor, p: Conv2dParams, y: &mut Tensor) {
-    let (_n, c, h, wd) = x.shape().nchw();
+    let (n, c, h, wd) = x.shape().nchw();
     let (k, _, r, s) = w.shape().nchw();
     let (_, _, ho, wo) = y.shape().nchw();
     let xs = x.as_slice();
     let ws = w.as_slice();
     let ys = y.as_mut_slice();
     let crs = c * r * s;
-    ys.par_chunks_mut(k * ho * wo).enumerate().for_each(|(ni, yn)| {
-        let mut col = vec![0.0f32; crs * ho * wo];
-        im2col(xs, ni, c, h, wd, r, s, ho, wo, p, &mut col);
-        gemm_noprofile(k, ho * wo, crs, ws, &col, yn);
-    });
+    let hw = ho * wo;
+    let mut col = vec![0.0f32; crs * COL_STRIP.min(hw.max(1))];
+    // Images and strips run serially; parallelism lives inside the strip
+    // (im2col rows, GEMM tile grid), which keeps the peak memory bounded
+    // and feeds the pool a few large dispatches instead of many tiny ones.
+    for ni in 0..n {
+        let yn = &mut ys[ni * k * hw..(ni + 1) * k * hw];
+        for p0 in (0..hw).step_by(COL_STRIP) {
+            let sw = COL_STRIP.min(hw - p0);
+            let strip = &mut col[..crs * sw];
+            // Each task owns one patch row (ci, ri, si) of the strip.
+            strip.par_chunks_mut(sw).enumerate().for_each(|(crow, row)| {
+                let si = crow % s;
+                let ri = (crow / s) % r;
+                let ci = crow / (r * s);
+                let xbase = (ni * c + ci) * h * wd;
+                for (j, v) in row.iter_mut().enumerate() {
+                    let pixel = p0 + j;
+                    let hoi = pixel / wo;
+                    let woi = pixel % wo;
+                    let hi = (hoi * p.stride + ri * p.dilation) as isize - p.pad as isize;
+                    let wi = (woi * p.stride + si * p.dilation) as isize - p.pad as isize;
+                    *v = if hi >= 0 && hi < h as isize && wi >= 0 && wi < wd as isize {
+                        xs[xbase + hi as usize * wd + wi as usize]
+                    } else {
+                        0.0
+                    };
+                }
+            });
+            // y_n[0..k, p0..p0+sw] += W[k, crs] · strip[crs, sw]
+            gemm_strided(k, sw, crs, ws, strip, &mut yn[p0..], hw);
+        }
+    }
 }
 
 /// Gradients of a convolution.
@@ -229,34 +264,37 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, grad_out: &Tensor, p: Conv2dParam
         let gos = grad_out.as_slice();
         let ws = w.as_slice();
         let gxs = gx.as_mut_slice();
-        gxs.par_chunks_mut(c * h * wd).enumerate().for_each(|(ni, gxn)| {
+        // One task per (n, c) input plane — finer parallel grain than
+        // per-image, and per-element contribution order (ki, then ri, si,
+        // hoi, woi ascending) is unchanged, so results are bit-identical
+        // at any thread count.
+        gxs.par_chunks_mut(h * wd).enumerate().for_each(|(plane, gxp)| {
+            let ni = plane / c;
+            let ci = plane % c;
             for ki in 0..k {
                 let gbase = (ni * k + ki) * ho * wo;
-                for ci in 0..c {
-                    let wbase = ((ki * c + ci) * r) * s;
-                    let xplane = ci * h * wd;
-                    for ri in 0..r {
-                        for si in 0..s {
-                            let wv = ws[wbase + ri * s + si];
-                            if wv == 0.0 {
+                let wbase = ((ki * c + ci) * r) * s;
+                for ri in 0..r {
+                    for si in 0..s {
+                        let wv = ws[wbase + ri * s + si];
+                        if wv == 0.0 {
+                            continue;
+                        }
+                        for hoi in 0..ho {
+                            let hi = (hoi * p.stride + ri * p.dilation) as isize
+                                - p.pad as isize;
+                            if hi < 0 || hi >= h as isize {
                                 continue;
                             }
-                            for hoi in 0..ho {
-                                let hi = (hoi * p.stride + ri * p.dilation) as isize
+                            let grow = gbase + hoi * wo;
+                            let xrow = hi as usize * wd;
+                            for woi in 0..wo {
+                                let wi = (woi * p.stride + si * p.dilation) as isize
                                     - p.pad as isize;
-                                if hi < 0 || hi >= h as isize {
+                                if wi < 0 || wi >= wd as isize {
                                     continue;
                                 }
-                                let grow = gbase + hoi * wo;
-                                let xrow = xplane + hi as usize * wd;
-                                for woi in 0..wo {
-                                    let wi = (woi * p.stride + si * p.dilation) as isize
-                                        - p.pad as isize;
-                                    if wi < 0 || wi >= wd as isize {
-                                        continue;
-                                    }
-                                    gxn[xrow + wi as usize] += wv * gos[grow + woi];
-                                }
+                                gxp[xrow + wi as usize] += wv * gos[grow + woi];
                             }
                         }
                     }
@@ -330,12 +368,11 @@ pub fn conv1x1_as_gemm(x: &Tensor, w: &Tensor) -> Tensor {
     let xs = x.as_slice();
     let ws = w.as_slice();
     let hw = h * wd;
-    y.as_mut_slice()
-        .par_chunks_mut(k * hw)
-        .enumerate()
-        .for_each(|(ni, yn)| {
-            gemm_noprofile(k, hw, c, ws, &xs[ni * c * hw..(ni + 1) * c * hw], yn);
-        });
+    // Serial over images; the blocked GEMM parallelizes over its own tile
+    // grid (hw is the wide dimension, so tiles dominate image count).
+    for (ni, yn) in y.as_mut_slice().chunks_mut(k * hw).enumerate() {
+        gemm_noprofile(k, hw, c, ws, &xs[ni * c * hw..(ni + 1) * c * hw], yn);
+    }
     y.requantize();
     record_conv("conv1x1_gemm", conv_flops(n, k, c, 1, 1, h, wd), &[x, w], &y);
     y

@@ -54,32 +54,34 @@ pub fn deconv2d_forward(x: &Tensor, w: &Tensor, p: Deconv2dParams) -> Tensor {
         let xs = x.as_slice();
         let ws = w.as_slice();
         let ys = y.as_mut_slice();
-        // One task per output image: all scatter-adds for image n are local.
-        ys.par_chunks_mut(k * ho * wo).enumerate().for_each(|(ni, yn)| {
+        // One task per (n, k) output plane: all scatter-adds for the plane
+        // are local, and per-element contribution order (ci, then hi, wi,
+        // ri, si ascending) matches the sequential loop nest exactly, so
+        // the result is bit-identical at any thread count.
+        ys.par_chunks_mut(ho * wo).enumerate().for_each(|(plane, yp)| {
+            let ni = plane / k;
+            let ki = plane % k;
             for ci in 0..c {
                 let xbase = (ni * c + ci) * h * wd;
-                for ki in 0..k {
-                    let wbase = ((ci * k + ki) * r) * s;
-                    let ybase = ki * ho * wo;
-                    for hi in 0..h {
-                        for wi in 0..wd {
-                            let xv = xs[xbase + hi * wd + wi];
-                            if xv == 0.0 {
+                let wbase = ((ci * k + ki) * r) * s;
+                for hi in 0..h {
+                    for wi in 0..wd {
+                        let xv = xs[xbase + hi * wd + wi];
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        for ri in 0..r {
+                            let hoi = (hi * p.stride + ri) as isize - p.pad as isize;
+                            if hoi < 0 || hoi >= ho as isize {
                                 continue;
                             }
-                            for ri in 0..r {
-                                let hoi = (hi * p.stride + ri) as isize - p.pad as isize;
-                                if hoi < 0 || hoi >= ho as isize {
+                            let yrow = hoi as usize * wo;
+                            for si in 0..s {
+                                let woi = (wi * p.stride + si) as isize - p.pad as isize;
+                                if woi < 0 || woi >= wo as isize {
                                     continue;
                                 }
-                                let yrow = ybase + hoi as usize * wo;
-                                for si in 0..s {
-                                    let woi = (wi * p.stride + si) as isize - p.pad as isize;
-                                    if woi < 0 || woi >= wo as isize {
-                                        continue;
-                                    }
-                                    yn[yrow + woi as usize] += xv * ws[wbase + ri * s + si];
-                                }
+                                yp[yrow + woi as usize] += xv * ws[wbase + ri * s + si];
                             }
                         }
                     }
@@ -119,31 +121,32 @@ pub fn deconv2d_backward(x: &Tensor, w: &Tensor, grad_out: &Tensor, p: Deconv2dP
         let gos = grad_out.as_slice();
         let ws = w.as_slice();
         let gxs = gx.as_mut_slice();
-        gxs.par_chunks_mut(c * h * wd).enumerate().for_each(|(ni, gxn)| {
-            for ci in 0..c {
-                let xplane = ci * h * wd;
-                for ki in 0..k {
-                    let wbase = ((ci * k + ki) * r) * s;
-                    let gbase = (ni * k + ki) * ho * wo;
-                    for hi in 0..h {
-                        for wi in 0..wd {
-                            let mut acc = 0.0f32;
-                            for ri in 0..r {
-                                let hoi = (hi * p.stride + ri) as isize - p.pad as isize;
-                                if hoi < 0 || hoi >= ho as isize {
+        // One task per (n, c) input plane; ki-ascending accumulation per
+        // element matches the sequential order → bit-identical results.
+        gxs.par_chunks_mut(h * wd).enumerate().for_each(|(plane, gxp)| {
+            let ni = plane / c;
+            let ci = plane % c;
+            for ki in 0..k {
+                let wbase = ((ci * k + ki) * r) * s;
+                let gbase = (ni * k + ki) * ho * wo;
+                for hi in 0..h {
+                    for wi in 0..wd {
+                        let mut acc = 0.0f32;
+                        for ri in 0..r {
+                            let hoi = (hi * p.stride + ri) as isize - p.pad as isize;
+                            if hoi < 0 || hoi >= ho as isize {
+                                continue;
+                            }
+                            let grow = gbase + hoi as usize * wo;
+                            for si in 0..s {
+                                let woi = (wi * p.stride + si) as isize - p.pad as isize;
+                                if woi < 0 || woi >= wo as isize {
                                     continue;
                                 }
-                                let grow = gbase + hoi as usize * wo;
-                                for si in 0..s {
-                                    let woi = (wi * p.stride + si) as isize - p.pad as isize;
-                                    if woi < 0 || woi >= wo as isize {
-                                        continue;
-                                    }
-                                    acc += gos[grow + woi as usize] * ws[wbase + ri * s + si];
-                                }
+                                acc += gos[grow + woi as usize] * ws[wbase + ri * s + si];
                             }
-                            gxn[xplane + hi * wd + wi] += acc;
                         }
+                        gxp[hi * wd + wi] += acc;
                     }
                 }
             }

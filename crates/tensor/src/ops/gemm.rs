@@ -1,18 +1,72 @@
-//! Blocked row-major GEMM.
+//! Cache-blocked, panel-packed, pool-parallel GEMM.
 //!
 //! cuDNN lowers most of the paper's convolutions to implicit GEMMs; our
 //! im2col convolution path does the same explicitly through this kernel.
-//! The inner loop is written i-k-j so the `B` row is streamed contiguously
-//! and the compiler can vectorize the update of a contiguous `C` row.
+//! The implementation follows the classic three-level blocking scheme
+//! (Goto/BLIS): the `k` dimension is cut into `KC`-deep panels, `A` is
+//! packed into `MR`-row micro-panels and `B` into `NR`-column micro-panels,
+//! and a register-tiled `MR×NR` micro-kernel accumulates each output tile
+//! while both operand panels stay cache-resident. All three storage
+//! layouts (`A·B`, `Aᵀ·B`, `A·Bᵀ`) share the same compute path — only the
+//! packing routines differ.
+//!
+//! Parallelism: the `(row-block × column-block)` tile grid of `C` is
+//! dispatched across the kernel thread pool. Every tile owns a disjoint
+//! region of `C` and accumulates its `k`-panels in a fixed order that does
+//! not depend on the thread count, so results are **bit-identical** for any
+//! `EXACLIM_NUM_THREADS`.
 
 use crate::profile::{self, KernelKind};
 use rayon::prelude::*;
 
+/// Rows of `A` per packed micro-panel (register tile height).
+const MR: usize = 4;
+/// Columns of `B` per packed micro-panel (register tile width).
+const NR: usize = 8;
+/// Depth of one packed `k`-panel (`A`/`B` micro-panels stay L1-resident).
+const KC: usize = 256;
+/// Rows of `C` per parallel tile (`A` panel of `MC·KC` floats is L2-sized).
+const MC: usize = 128;
+/// Columns of `C` per parallel tile (bounds the per-task packed-`B` buffer).
+const NC: usize = 512;
+/// Below this `m·n·k` volume the packing overhead dominates; use the plain
+/// streaming kernel instead. Shape-dependent only, so the choice is
+/// identical at every thread count.
+const BLOCKED_MIN_VOLUME: usize = 64 * 64 * 64;
+
+/// How an operand is laid out in memory relative to its logical role.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// Stored exactly as its logical `rows×cols` row-major shape.
+    Normal,
+    /// Stored transposed: logical element `(i, j)` lives at `(j, i)`.
+    Transposed,
+}
+
+/// Shared raw pointer to `C`, handed to tile tasks.
+///
+/// Safety: every tile task writes only its own `[i0..i0+mc) × [j0..j0+nc)`
+/// region (disjoint by construction of the tile grid), so concurrent access
+/// never aliases.
+#[derive(Clone, Copy)]
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Accessor (rather than direct field access) so closures capture the
+    /// Sync wrapper itself — 2021 precise capture would otherwise reach
+    /// through to the non-Sync `*mut` field.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
 /// `c[m×n] += a[m×k] · b[k×n]`, all row-major dense slices.
 ///
-/// Parallelized over rows of `C` with rayon. Records a census entry of
-/// `2·m·n·k` FLOPs when invoked directly (the convolution wrappers record
-/// at the op level instead and call [`gemm_noprofile`]).
+/// Parallelized over output tiles on the kernel pool. Records a census
+/// entry of `2·m·n·k` FLOPs when invoked directly (the convolution
+/// wrappers record at the op level instead and call [`gemm_noprofile`]).
 ///
 /// # Panics
 /// Panics if slice lengths do not match the given dimensions.
@@ -33,22 +87,7 @@ pub fn gemm_noprofile(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mu
     assert_eq!(a.len(), m * k, "A must be m×k");
     assert_eq!(b.len(), k * n, "B must be k×n");
     assert_eq!(c.len(), m * n, "C must be m×n");
-    if m == 0 || n == 0 || k == 0 {
-        return;
-    }
-    // Parallelize across C rows; each task owns a disjoint slice of C.
-    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
-        let a_row = &a[i * k..(i + 1) * k];
-        for (kk, &a_ik) in a_row.iter().enumerate() {
-            if a_ik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_ij += a_ik * b_kj;
-            }
-        }
-    });
+    gemm_dispatch(m, n, k, a, Layout::Normal, b, Layout::Normal, c, n);
 }
 
 /// `c[m×n] += aᵀ[m×k] · b[k×n]` where `a` is stored as `k×m` row-major.
@@ -59,18 +98,7 @@ pub fn gemm_at_b(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f3
     assert_eq!(a.len(), k * m, "A must be k×m (transposed)");
     assert_eq!(b.len(), k * n, "B must be k×n");
     assert_eq!(c.len(), m * n, "C must be m×n");
-    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
-        for kk in 0..k {
-            let a_ik = a[kk * m + i];
-            if a_ik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_ij += a_ik * b_kj;
-            }
-        }
-    });
+    gemm_dispatch(m, n, k, a, Layout::Transposed, b, Layout::Normal, c, n);
 }
 
 /// `c[m×n] += a[m×k] · bᵀ[k×n]` where `b` is stored as `n×k` row-major.
@@ -78,17 +106,245 @@ pub fn gemm_a_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f3
     assert_eq!(a.len(), m * k, "A must be m×k");
     assert_eq!(b.len(), n * k, "B must be n×k (transposed)");
     assert_eq!(c.len(), m * n, "C must be m×n");
-    c.par_chunks_mut(n).enumerate().for_each(|(i, c_row)| {
-        let a_row = &a[i * k..(i + 1) * k];
-        for (j, c_ij) in c_row.iter_mut().enumerate() {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
-                acc += x * y;
+    gemm_dispatch(m, n, k, a, Layout::Normal, b, Layout::Transposed, c, n);
+}
+
+/// `c[i·ldc + j] += Σ a[i,·]·b[·,j]` over an `m×n` sub-matrix of a larger
+/// row-major buffer with leading dimension `ldc ≥ n`. Lets the strip-wise
+/// im2col convolution accumulate directly into column slices of its output
+/// without a copy.
+///
+/// `c` must start at the sub-matrix origin and cover its last element.
+pub(crate) fn gemm_strided(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
+    assert!(ldc >= n, "leading dimension must cover the row width");
+    assert_eq!(a.len(), m * k, "A must be m×k");
+    assert_eq!(b.len(), k * n, "B must be k×n");
+    assert!(
+        m == 0 || n == 0 || c.len() >= (m - 1) * ldc + n,
+        "C must cover the strided m×n sub-matrix"
+    );
+    gemm_dispatch(m, n, k, a, Layout::Normal, b, Layout::Normal, c, ldc);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_dispatch(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m * n * k < BLOCKED_MIN_VOLUME {
+        gemm_small(m, n, k, a, a_layout, b, b_layout, c, ldc);
+    } else {
+        gemm_blocked(m, n, k, a, a_layout, b, b_layout, c, ldc);
+    }
+}
+
+/// Streaming i-k-j kernel for shapes too small to amortize packing. The
+/// `B` row is read contiguously and the compiler vectorizes the update of
+/// a contiguous `C` row.
+#[allow(clippy::too_many_arguments)]
+fn gemm_small(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    for i in 0..m {
+        let c_row = &mut c[i * ldc..i * ldc + n];
+        match b_layout {
+            Layout::Normal => {
+                for kk in 0..k {
+                    let a_ik = match a_layout {
+                        Layout::Normal => a[i * k + kk],
+                        Layout::Transposed => a[kk * m + i],
+                    };
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
+                        *c_ij += a_ik * b_kj;
+                    }
+                }
             }
-            *c_ij += acc;
+            Layout::Transposed => {
+                // B stored n×k: dot products over contiguous B rows.
+                for (j, c_ij) in c_row.iter_mut().enumerate() {
+                    let b_row = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    match a_layout {
+                        Layout::Normal => {
+                            let a_row = &a[i * k..(i + 1) * k];
+                            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                                acc += x * y;
+                            }
+                        }
+                        Layout::Transposed => {
+                            for (kk, &y) in b_row.iter().enumerate() {
+                                acc += a[kk * m + i] * y;
+                            }
+                        }
+                    }
+                    *c_ij += acc;
+                }
+            }
         }
-    });
+    }
+}
+
+/// Packs the `MR`-row micro-panel of `A` covering logical rows
+/// `[i0, i0+MR)` and depths `[pc, pc+kc)` into `panel` (layout:
+/// `kc` groups of `MR` row-values; short row blocks are zero-padded, which
+/// contributes exact `+0.0` terms to lanes that are never written back).
+#[allow(clippy::too_many_arguments)]
+fn pack_a_panel(a: &[f32], layout: Layout, m: usize, k: usize, i0: usize, pc: usize, kc: usize, panel: &mut [f32]) {
+    debug_assert_eq!(panel.len(), kc * MR);
+    for p in 0..kc {
+        for r in 0..MR {
+            let i = i0 + r;
+            panel[p * MR + r] = if i < m {
+                match layout {
+                    Layout::Normal => a[i * k + pc + p],
+                    Layout::Transposed => a[(pc + p) * m + i],
+                }
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// Packs the `NR`-column micro-panel of `B` covering logical columns
+/// `[j0, j0+NR)` and depths `[pc, pc+kc)` into `panel` (layout: `kc`
+/// groups of `NR` column-values, zero-padded past `n`).
+#[allow(clippy::too_many_arguments)]
+fn pack_b_panel(b: &[f32], layout: Layout, n: usize, k: usize, j0: usize, pc: usize, kc: usize, panel: &mut [f32]) {
+    debug_assert_eq!(panel.len(), kc * NR);
+    match layout {
+        Layout::Normal => {
+            for p in 0..kc {
+                let row = &b[(pc + p) * n..];
+                for j in 0..NR {
+                    panel[p * NR + j] = if j0 + j < n { row[j0 + j] } else { 0.0 };
+                }
+            }
+        }
+        Layout::Transposed => {
+            // B stored n×k: column j of logical B is a contiguous k-row.
+            for j in 0..NR {
+                if j0 + j < n {
+                    let col = &b[(j0 + j) * k + pc..];
+                    for p in 0..kc {
+                        panel[p * NR + j] = col[p];
+                    }
+                } else {
+                    for p in 0..kc {
+                        panel[p * NR + j] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The register tile: `acc[MR][NR] += ap ⊗ bp` over `kc` depths. With
+/// `MR`/`NR` constant the accumulators live in SIMD registers and the
+/// inner loop compiles to broadcast-multiply-accumulate rows.
+#[inline]
+fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        for (i, &av) in a_col.iter().enumerate() {
+            for (j, &bv) in b_row.iter().enumerate() {
+                acc[i][j] += av * bv;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    b: &[f32],
+    b_layout: Layout,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let m_panels = m.div_ceil(MR);
+    let m_tiles = m.div_ceil(MC);
+    let n_tiles = n.div_ceil(NC);
+    // Tile descriptors for the parallel grid: (row-block, col-block).
+    let tiles: Vec<(usize, usize)> = (0..m_tiles)
+        .flat_map(|mt| (0..n_tiles).map(move |nt| (mt, nt)))
+        .collect();
+    let c_ptr = SendPtr(c.as_mut_ptr());
+
+    // One packed-A buffer for the whole kc-panel, shared read-only by all
+    // tiles (packed in parallel below: one task per MR-micro-panel).
+    let mut ap = vec![0.0f32; m_panels * MR * KC];
+
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        ap.par_chunks_mut(MR * KC).enumerate().for_each(|(panel, buf)| {
+            pack_a_panel(a, a_layout, m, k, panel * MR, pc, kc, &mut buf[..kc * MR]);
+        });
+
+        tiles.par_iter().for_each(|&(mt, nt)| {
+            let c_raw = c_ptr.get();
+            let i0 = mt * MC;
+            let mc = MC.min(m - i0);
+            let j0 = nt * NC;
+            let nc = NC.min(n - j0);
+            // Per-task packed-B panel for this column block. Re-packed per
+            // row-block task; redundant for multi-row-block shapes but
+            // keeps every task independent (content is tile-invariant, so
+            // numerics are unaffected).
+            let nr_panels = nc.div_ceil(NR);
+            let mut bp = vec![0.0f32; nr_panels * NR * kc];
+            bp.chunks_exact_mut(NR * kc).enumerate().for_each(|(panel, buf)| {
+                pack_b_panel(b, b_layout, n, k, j0 + panel * NR, pc, kc, buf);
+            });
+
+            for ir in (0..mc).step_by(MR) {
+                let i = i0 + ir;
+                let mr_eff = MR.min(m - i);
+                let ap_panel = &ap[(i / MR) * MR * KC..(i / MR) * MR * KC + kc * MR];
+                for (panel, bp_panel) in bp.chunks_exact(NR * kc).enumerate() {
+                    let j = j0 + panel * NR;
+                    let nr_eff = NR.min(n - j);
+                    let mut acc = [[0.0f32; NR]; MR];
+                    microkernel(kc, ap_panel, bp_panel, &mut acc);
+                    // Safety: rows [i, i+mr_eff) × cols [j, j+nr_eff) lie
+                    // inside this task's tile; tiles are disjoint.
+                    for (r, acc_row) in acc.iter().enumerate().take(mr_eff) {
+                        let row = unsafe {
+                            std::slice::from_raw_parts_mut(c_raw.add((i + r) * ldc + j), nr_eff)
+                        };
+                        for (c_ij, &v) in row.iter_mut().zip(acc_row.iter()) {
+                            *c_ij += v;
+                        }
+                    }
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +373,21 @@ mod tests {
         let expect = naive(m, n, k, &a, &b);
         for (x, y) in c.iter().zip(expect.iter()) {
             assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_path_matches_naive() {
+        // Dimensions chosen to exceed BLOCKED_MIN_VOLUME and to exercise
+        // ragged MR/NR/KC/MC/NC edges.
+        let (m, n, k) = (131, 73, 301);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 13 % 17) as f32 - 8.0) * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.5).collect();
+        let mut c = vec![0.0; m * n];
+        gemm_noprofile(m, n, k, &a, &b, &mut c);
+        let expect = naive(m, n, k, &a, &b);
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 2e-2, "{x} vs {y}");
         }
     }
 
@@ -159,6 +430,59 @@ mod tests {
         for ((x, y), z) in c1.iter().zip(c2.iter()).zip(expect.iter()) {
             assert!((x - z).abs() < 1e-4);
             assert!((y - z).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_on_blocked_shapes() {
+        let (m, n, k) = (67, 129, 200);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 31 % 23) as f32 - 11.0) * 0.1).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 17 % 19) as f32 - 9.0) * 0.1).collect();
+        let expect = naive(m, n, k, &a, &b);
+
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c1 = vec![0.0; m * n];
+        gemm_at_b(m, n, k, &at, &b, &mut c1);
+
+        let mut bt = vec![0.0; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c2 = vec![0.0; m * n];
+        gemm_a_bt(m, n, k, &a, &bt, &mut c2);
+
+        for ((x, y), z) in c1.iter().zip(c2.iter()).zip(expect.iter()) {
+            assert!((x - z).abs() < 2e-2, "{x} vs {z}");
+            assert!((y - z).abs() < 2e-2, "{y} vs {z}");
+        }
+    }
+
+    #[test]
+    fn strided_accumulation_hits_only_the_submatrix() {
+        // C is a 6×10 buffer; accumulate a 4×3 product at column offset 5.
+        let (m, n, k) = (4, 3, 2);
+        let ldc = 10;
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 + 1.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32) * 0.5).collect();
+        let mut c = vec![1.0f32; 6 * ldc];
+        let expect = naive(m, n, k, &a, &b);
+        gemm_strided(m, n, k, &a, &b, &mut c[5..], ldc);
+        for i in 0..6 {
+            for j in 0..ldc {
+                let v = c[i * ldc + j];
+                if i < m && (5..5 + n).contains(&j) {
+                    assert!((v - 1.0 - expect[i * n + (j - 5)]).abs() < 1e-5, "({i},{j}) = {v}");
+                } else {
+                    assert_eq!(v, 1.0, "({i},{j}) must be untouched");
+                }
+            }
         }
     }
 

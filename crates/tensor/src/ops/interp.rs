@@ -8,6 +8,7 @@
 
 use crate::profile::{self, KernelKind};
 use crate::tensor::Tensor;
+use rayon::prelude::*;
 
 /// Sampling coefficients for one output coordinate (align_corners=false).
 #[inline]
@@ -27,9 +28,9 @@ pub fn bilinear_resize_forward(x: &Tensor, out_h: usize, out_w: usize) -> Tensor
     {
         let xs = x.as_slice();
         let ys = y.as_mut_slice();
-        for plane in 0..n * c {
+        // Planes are independent gathers: one task per (n, c) plane.
+        ys.par_chunks_mut(out_h * out_w).enumerate().for_each(|(plane, yp)| {
             let xbase = plane * h * w;
-            let ybase = plane * out_h * out_w;
             for oy in 0..out_h {
                 let (y0, y1, fy) = src_coords(oy, sh, h);
                 for ox in 0..out_w {
@@ -40,10 +41,10 @@ pub fn bilinear_resize_forward(x: &Tensor, out_h: usize, out_w: usize) -> Tensor
                     let v11 = xs[xbase + y1 * w + x1];
                     let top = v00 + fx * (v01 - v00);
                     let bot = v10 + fx * (v11 - v10);
-                    ys[ybase + oy * out_w + ox] = top + fy * (bot - top);
+                    yp[oy * out_w + ox] = top + fy * (bot - top);
                 }
             }
-        }
+        });
     }
     y.requantize();
     profile::record(
@@ -66,21 +67,22 @@ pub fn bilinear_resize_backward(x_shape: &crate::Shape, grad_out: &Tensor) -> Te
     {
         let gos = grad_out.as_slice();
         let gxs = gx.as_mut_slice();
-        for plane in 0..n * c {
+        // The scatter never crosses plane boundaries, so planes
+        // parallelize conflict-free with unchanged per-plane add order.
+        gxs.par_chunks_mut(h * w).enumerate().for_each(|(plane, gxp)| {
             let gbase = plane * out_h * out_w;
-            let xbase = plane * h * w;
             for oy in 0..out_h {
                 let (y0, y1, fy) = src_coords(oy, sh, h);
                 for ox in 0..out_w {
                     let (x0, x1, fx) = src_coords(ox, sw, w);
                     let g = gos[gbase + oy * out_w + ox];
-                    gxs[xbase + y0 * w + x0] += g * (1.0 - fy) * (1.0 - fx);
-                    gxs[xbase + y0 * w + x1] += g * (1.0 - fy) * fx;
-                    gxs[xbase + y1 * w + x0] += g * fy * (1.0 - fx);
-                    gxs[xbase + y1 * w + x1] += g * fy * fx;
+                    gxp[y0 * w + x0] += g * (1.0 - fy) * (1.0 - fx);
+                    gxp[y0 * w + x1] += g * (1.0 - fy) * fx;
+                    gxp[y1 * w + x0] += g * fy * (1.0 - fx);
+                    gxp[y1 * w + x1] += g * fy * fx;
                 }
             }
-        }
+        });
     }
     gx.requantize();
     profile::record(

@@ -7,6 +7,7 @@
 
 use crate::profile::{self, KernelKind};
 use crate::tensor::{DType, Tensor};
+use rayon::prelude::*;
 
 /// Saved forward state needed by [`batchnorm_backward`].
 #[derive(Debug, Clone)]
@@ -40,36 +41,35 @@ pub fn batchnorm_forward(
     let m = (n * h * w) as f32;
     let xs = x.as_slice();
 
+    // One task per channel: each channel's statistic accumulates its
+    // per-plane partial sums in ni-ascending order (the sequential order),
+    // so results are bit-identical at any thread count.
     let mut mean = vec![0.0f32; c];
     let mut var = vec![0.0f32; c];
-    for ni in 0..n {
-        for ci in 0..c {
+    mean.par_iter_mut().enumerate().for_each(|(ci, mv)| {
+        for ni in 0..n {
             let base = (ni * c + ci) * h * w;
             let mut acc = 0.0f64;
             for &v in &xs[base..base + h * w] {
                 acc += v as f64;
             }
-            mean[ci] += acc as f32;
+            *mv += acc as f32;
         }
-    }
-    for mv in mean.iter_mut() {
         *mv /= m;
-    }
-    for ni in 0..n {
-        for ci in 0..c {
+    });
+    var.par_iter_mut().enumerate().for_each(|(ci, vv)| {
+        let mu = mean[ci];
+        for ni in 0..n {
             let base = (ni * c + ci) * h * w;
-            let mu = mean[ci];
             let mut acc = 0.0f64;
             for &v in &xs[base..base + h * w] {
                 let d = v - mu;
                 acc += (d * d) as f64;
             }
-            var[ci] += acc as f32;
+            *vv += acc as f32;
         }
-    }
-    for vv in var.iter_mut() {
         *vv /= m;
-    }
+    });
 
     if let Some((rm, rv, mom)) = running {
         assert_eq!(rm.len(), c);
@@ -88,20 +88,22 @@ pub fn batchnorm_forward(
         let bs = beta.as_slice();
         let xh = xhat.as_mut_slice();
         let ys = y.as_mut_slice();
-        for ni in 0..n {
-            for ci in 0..c {
-                let base = (ni * c + ci) * h * w;
+        xh.par_chunks_mut(h * w)
+            .zip(ys.par_chunks_mut(h * w))
+            .enumerate()
+            .for_each(|(plane, (xhp, yp))| {
+                let ci = plane % c;
+                let base = plane * h * w;
                 let mu = mean[ci];
                 let is = inv_std[ci];
                 let g = gs[ci];
                 let b = bs[ci];
-                for i in base..base + h * w {
-                    let xn = (xs[i] - mu) * is;
-                    xh[i] = xn;
-                    ys[i] = g * xn + b;
+                for (i, (xn_out, y_out)) in xhp.iter_mut().zip(yp.iter_mut()).enumerate() {
+                    let xn = (xs[base + i] - mu) * is;
+                    *xn_out = xn;
+                    *y_out = g * xn + b;
                 }
-            }
-        }
+            });
     }
     y.requantize();
     profile::record(
@@ -137,36 +139,41 @@ pub fn batchnorm_backward(
     let xh = cache.xhat.as_slice();
     let gs = gamma.as_slice();
 
+    // Per-channel tasks; partial sums accumulate ni-ascending as in the
+    // sequential loop nest.
     let mut sum_gy = vec![0.0f32; c];
     let mut sum_gy_xhat = vec![0.0f32; c];
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * h * w;
-            let mut a = 0.0f64;
-            let mut b = 0.0f64;
-            for i in base..base + h * w {
-                a += gos[i] as f64;
-                b += (gos[i] * xh[i]) as f64;
+    sum_gy
+        .par_iter_mut()
+        .zip(sum_gy_xhat.par_iter_mut())
+        .enumerate()
+        .for_each(|(ci, (sg, sgx))| {
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                let mut a = 0.0f64;
+                let mut b = 0.0f64;
+                for i in base..base + h * w {
+                    a += gos[i] as f64;
+                    b += (gos[i] * xh[i]) as f64;
+                }
+                *sg += a as f32;
+                *sgx += b as f32;
             }
-            sum_gy[ci] += a as f32;
-            sum_gy_xhat[ci] += b as f32;
-        }
-    }
+        });
 
     let mut gx = Tensor::zeros(grad_out.shape().clone(), grad_out.dtype());
     {
         let gxs = gx.as_mut_slice();
-        for ni in 0..n {
-            for ci in 0..c {
-                let base = (ni * c + ci) * h * w;
-                let k = gs[ci] * cache.inv_std[ci] / m;
-                let sg = sum_gy[ci];
-                let sgx = sum_gy_xhat[ci];
-                for i in base..base + h * w {
-                    gxs[i] = k * (m * gos[i] - sg - xh[i] * sgx);
-                }
+        gxs.par_chunks_mut(h * w).enumerate().for_each(|(plane, gxp)| {
+            let ci = plane % c;
+            let base = plane * h * w;
+            let k = gs[ci] * cache.inv_std[ci] / m;
+            let sg = sum_gy[ci];
+            let sgx = sum_gy_xhat[ci];
+            for (i, o) in gxp.iter_mut().enumerate() {
+                *o = k * (m * gos[base + i] - sg - xh[base + i] * sgx);
             }
-        }
+        });
     }
     gx.requantize();
 

@@ -8,20 +8,48 @@ use crate::profile::{self, KernelKind};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::Rng;
+use rayon::prelude::*;
+
+/// Elements per parallel block for flat elementwise kernels. Fixed (not a
+/// function of thread count), so partitioning — and hence results — are
+/// identical at any pool width.
+const PW_BLOCK: usize = 16384;
 
 fn record_pw(name: &'static str, flops: u64, read: u64, written: u64) {
     profile::record(KernelKind::Pointwise, name, flops, read, written);
 }
 
+/// `out[i] = f(a[i])` over parallel blocks.
+fn map1(a: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
+    let mut data = vec![0.0f32; a.len()];
+    data.par_chunks_mut(PW_BLOCK)
+        .zip(a.par_chunks(PW_BLOCK))
+        .for_each(|(d, x)| {
+            for (o, &u) in d.iter_mut().zip(x.iter()) {
+                *o = f(u);
+            }
+        });
+    data
+}
+
+/// `out[i] = f(a[i], b[i])` over parallel blocks.
+fn map2(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
+    let mut data = vec![0.0f32; a.len()];
+    data.par_chunks_mut(PW_BLOCK)
+        .zip(a.par_chunks(PW_BLOCK))
+        .zip(b.par_chunks(PW_BLOCK))
+        .for_each(|((d, x), y)| {
+            for ((o, &u), &v) in d.iter_mut().zip(x.iter()).zip(y.iter()) {
+                *o = f(u, v);
+            }
+        });
+    data
+}
+
 /// Elementwise `a + b`.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.shape(), b.shape(), "add shape mismatch");
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice().iter())
-        .map(|(x, y)| x + y)
-        .collect();
+    let data = map2(a.as_slice(), b.as_slice(), |x, y| x + y);
     let out = Tensor::from_vec(a.shape().clone(), a.dtype(), data);
     record_pw(
         "add",
@@ -35,12 +63,7 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
 /// Elementwise `a * b`.
 pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice().iter())
-        .map(|(x, y)| x * y)
-        .collect();
+    let data = map2(a.as_slice(), b.as_slice(), |x, y| x * y);
     let out = Tensor::from_vec(a.shape().clone(), a.dtype(), data);
     record_pw(
         "mul",
@@ -53,7 +76,7 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// `a * s` into a new tensor.
 pub fn scale_tensor(a: &Tensor, s: f32) -> Tensor {
-    let data = a.as_slice().iter().map(|x| x * s).collect();
+    let data = map1(a.as_slice(), |x| x * s);
     let out = Tensor::from_vec(a.shape().clone(), a.dtype(), data);
     record_pw("scale", a.numel() as u64, a.storage_bytes() as u64, out.storage_bytes() as u64);
     out
@@ -62,21 +85,18 @@ pub fn scale_tensor(a: &Tensor, s: f32) -> Tensor {
 /// Adds a per-channel bias `[C]` to an NCHW tensor in place.
 #[allow(clippy::needless_range_loop)]
 pub fn add_bias_nchw(x: &mut Tensor, bias: &Tensor) {
-    let (n, c, h, w) = x.shape().nchw();
+    let (_n, c, h, w) = x.shape().nchw();
     assert_eq!(bias.numel(), c, "bias must have one entry per channel");
     let bytes = x.storage_bytes() as u64;
     {
         let bs = bias.as_slice();
         let xs = x.as_mut_slice();
-        for ni in 0..n {
-            for ci in 0..c {
-                let b = bs[ci];
-                let base = (ni * c + ci) * h * w;
-                for v in xs[base..base + h * w].iter_mut() {
-                    *v += b;
-                }
+        xs.par_chunks_mut(h * w).enumerate().for_each(|(plane, xp)| {
+            let b = bs[plane % c];
+            for v in xp.iter_mut() {
+                *v += b;
             }
-        }
+        });
     }
     x.requantize();
     record_pw("bias_add", x.numel() as u64, bytes + bias.storage_bytes() as u64, bytes);
@@ -89,12 +109,14 @@ pub fn bias_grad_nchw(grad_out: &Tensor) -> Tensor {
     {
         let gos = grad_out.as_slice();
         let gbs = gb.as_mut_slice();
-        for ni in 0..n {
-            for (ci, gbc) in gbs.iter_mut().enumerate() {
+        // One task per channel; the image loop stays ni-ascending inside,
+        // matching the sequential per-channel accumulation order.
+        gbs.par_iter_mut().enumerate().for_each(|(ci, gbc)| {
+            for ni in 0..n {
                 let base = (ni * c + ci) * h * w;
                 *gbc += gos[base..base + h * w].iter().sum::<f32>();
             }
-        }
+        });
     }
     record_pw(
         "bias_grad",
@@ -107,7 +129,7 @@ pub fn bias_grad_nchw(grad_out: &Tensor) -> Tensor {
 
 /// ReLU forward.
 pub fn relu_forward(x: &Tensor) -> Tensor {
-    let data = x.as_slice().iter().map(|&v| v.max(0.0)).collect();
+    let data = map1(x.as_slice(), |v| v.max(0.0));
     let out = Tensor::from_vec(x.shape().clone(), x.dtype(), data);
     record_pw("relu_fwd", x.numel() as u64, x.storage_bytes() as u64, out.storage_bytes() as u64);
     out
@@ -116,12 +138,7 @@ pub fn relu_forward(x: &Tensor) -> Tensor {
 /// ReLU backward: passes gradients where the *input* was positive.
 pub fn relu_backward(x: &Tensor, grad_out: &Tensor) -> Tensor {
     assert_eq!(x.shape(), grad_out.shape(), "relu_backward shape mismatch");
-    let data = x
-        .as_slice()
-        .iter()
-        .zip(grad_out.as_slice().iter())
-        .map(|(&v, &g)| if v > 0.0 { g } else { 0.0 })
-        .collect();
+    let data = map2(x.as_slice(), grad_out.as_slice(), |v, g| if v > 0.0 { g } else { 0.0 });
     let out = Tensor::from_vec(x.shape().clone(), grad_out.dtype(), data);
     record_pw(
         "relu_bwd",
@@ -138,15 +155,12 @@ pub fn dropout_forward(x: &Tensor, drop_prob: f32, rng: &mut StdRng) -> (Tensor,
     assert!((0.0..1.0).contains(&drop_prob), "drop_prob must be in [0,1)");
     let keep = 1.0 - drop_prob;
     let inv = 1.0 / keep;
+    // Mask generation must stay sequential: the RNG stream defines the
+    // mask, and splitting it across threads would change the draws.
     let mask: Vec<f32> = (0..x.numel())
         .map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 })
         .collect();
-    let data = x
-        .as_slice()
-        .iter()
-        .zip(mask.iter())
-        .map(|(&v, &m)| v * m)
-        .collect();
+    let data = map2(x.as_slice(), &mask, |v, m| v * m);
     let out = Tensor::from_vec(x.shape().clone(), x.dtype(), data);
     record_pw(
         "dropout_fwd",
@@ -160,12 +174,7 @@ pub fn dropout_forward(x: &Tensor, drop_prob: f32, rng: &mut StdRng) -> (Tensor,
 /// Dropout backward: applies the stored mask.
 pub fn dropout_backward(grad_out: &Tensor, mask: &[f32]) -> Tensor {
     assert_eq!(grad_out.numel(), mask.len(), "dropout mask length mismatch");
-    let data = grad_out
-        .as_slice()
-        .iter()
-        .zip(mask.iter())
-        .map(|(&g, &m)| g * m)
-        .collect();
+    let data = map2(grad_out.as_slice(), mask, |g, m| g * m);
     let out = Tensor::from_vec(grad_out.shape().clone(), grad_out.dtype(), data);
     record_pw(
         "dropout_bwd",

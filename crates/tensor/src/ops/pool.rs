@@ -71,13 +71,24 @@ pub fn maxpool2d_forward(
 
 /// Backward max pooling: routes each output gradient to its argmax input.
 pub fn maxpool2d_backward(x: &Tensor, grad_out: &Tensor, argmax: &[u32]) -> Tensor {
+    let (_, _, h, w) = x.shape().nchw();
+    let (_, _, ho, wo) = grad_out.shape().nchw();
     let mut gx = Tensor::zeros(x.shape().clone(), x.dtype());
     {
         let gos = grad_out.as_slice();
         let gxs = gx.as_mut_slice();
-        for (g, &idx) in gos.iter().zip(argmax.iter()) {
-            gxs[idx as usize] += *g;
-        }
+        // Argmax indices never cross plane boundaries, so the scatter is
+        // plane-local and planes parallelize without write conflicts.
+        gxs.par_chunks_mut(h * w)
+            .zip(gos.par_chunks(ho * wo))
+            .zip(argmax.par_chunks(ho * wo))
+            .enumerate()
+            .for_each(|(plane, ((gxp, gop), ap))| {
+                let base = plane * h * w;
+                for (g, &idx) in gop.iter().zip(ap.iter()) {
+                    gxp[idx as usize - base] += *g;
+                }
+            });
     }
     gx.requantize();
     profile::record(
@@ -98,10 +109,12 @@ pub fn avgpool_global_forward(x: &Tensor) -> Tensor {
     {
         let xs = x.as_slice();
         let ys = y.as_mut_slice();
-        for (plane, yp) in ys.iter_mut().enumerate() {
+        // One task per (n, c) plane; each plane's sum keeps its sequential
+        // left-to-right order.
+        ys.par_iter_mut().enumerate().for_each(|(plane, yp)| {
             let base = plane * h * w;
             *yp = xs[base..base + h * w].iter().sum::<f32>() / hw;
-        }
+        });
     }
     y.requantize();
     profile::record(
@@ -122,12 +135,12 @@ pub fn avgpool_global_backward(x_shape: &crate::Shape, grad_out: &Tensor) -> Ten
     {
         let gos = grad_out.as_slice();
         let gxs = gx.as_mut_slice();
-        for (plane, &g) in gos.iter().enumerate() {
-            let v = g / hw;
-            for o in gxs[plane * h * w..(plane + 1) * h * w].iter_mut() {
+        gxs.par_chunks_mut(h * w).enumerate().for_each(|(plane, gxp)| {
+            let v = gos[plane] / hw;
+            for o in gxp.iter_mut() {
                 *o = v;
             }
-        }
+        });
     }
     gx.requantize();
     profile::record(

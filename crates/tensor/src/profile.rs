@@ -14,6 +14,7 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// What a kernel does, independent of when it runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -172,18 +173,46 @@ impl Profile {
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static PHASE: AtomicU8 = AtomicU8::new(0);
-static DATA: Mutex<Option<Profile>> = Mutex::new(None);
+
+/// One thread's private record buffer. `record()` only ever locks its own
+/// shard (uncontended in steady state), so profiling no longer serializes
+/// concurrently running kernels through one global mutex.
+type Shard = Arc<Mutex<Vec<KernelRecord>>>;
+
+/// All shards ever created, in thread-registration order. `start()` clears
+/// them; `stop()` drains them in this (stable) order so repeated censuses
+/// of the same single-threaded region produce identical record sequences.
+static SHARDS: Mutex<Vec<Shard>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static MY_SHARD: Shard = {
+        let shard: Shard = Arc::new(Mutex::new(Vec::new()));
+        SHARDS.lock().push(shard.clone());
+        shard
+    };
+}
 
 /// Begins recording. Any previous un-collected profile is discarded.
 pub fn start() {
-    *DATA.lock() = Some(Profile::default());
+    for shard in SHARDS.lock().iter() {
+        shard.lock().clear();
+    }
     ENABLED.store(true, Ordering::SeqCst);
 }
 
 /// Stops recording and returns the collected census.
+///
+/// Shards are drained in thread-registration order; within a shard,
+/// records keep their recording order. Kernels record at the op level (on
+/// the thread that invoked the op), so a single-threaded census region
+/// yields exactly the sequential record order.
 pub fn stop() -> Profile {
     ENABLED.store(false, Ordering::SeqCst);
-    DATA.lock().take().unwrap_or_default()
+    let mut prof = Profile::default();
+    for shard in SHARDS.lock().iter() {
+        prof.records.append(&mut shard.lock());
+    }
+    prof
 }
 
 /// True while a census is being recorded.
@@ -221,15 +250,15 @@ pub fn record(kind: KernelKind, name: &'static str, flops: u64, bytes_read: u64,
         return;
     }
     let category = categorize(phase(), kind);
-    if let Some(p) = DATA.lock().as_mut() {
-        p.records.push(KernelRecord {
+    MY_SHARD.with(|shard| {
+        shard.lock().push(KernelRecord {
             category,
             name,
             flops,
             bytes_read,
             bytes_written,
         });
-    }
+    });
 }
 
 /// Re-records a previously captured kernel record verbatim (used when a
@@ -239,9 +268,7 @@ pub fn record_raw(record: KernelRecord) {
     if !enabled() {
         return;
     }
-    if let Some(p) = DATA.lock().as_mut() {
-        p.records.push(record);
-    }
+    MY_SHARD.with(|shard| shard.lock().push(record));
 }
 
 /// Runs `f` with recording active and returns its result plus the census.
@@ -299,5 +326,27 @@ mod tests {
         });
         assert_eq!(prof.records[0].category, Category::Optimizer);
         set_phase(Phase::Forward);
+    }
+
+    #[test]
+    fn concurrent_records_all_land_in_the_census() {
+        let _g = GUARD.lock();
+        set_phase(Phase::Forward);
+        let ((), prof) = capture(|| {
+            let threads: Vec<_> = (0..4)
+                .map(|_| {
+                    std::thread::spawn(|| {
+                        for _ in 0..50 {
+                            record(KernelKind::Pointwise, "worker", 2, 1, 1);
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+        });
+        assert_eq!(prof.total_kernels(), 200);
+        assert_eq!(prof.total_flops(), 400);
     }
 }

@@ -6,3 +6,7 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+# Kernel results must be bit-identical at any pool width: rerun the
+# tensor and nn suites with a 4-thread default pool.
+EXACLIM_NUM_THREADS=4 cargo test -q -p exaclim-tensor -p exaclim-nn
