@@ -1,0 +1,178 @@
+//! Memory-management microbenchmark: allocator traffic of one training
+//! step, pooled vs. unpooled, for both networks — the measurement behind
+//! §VII-A's "improve the memory management" claim on this backend.
+//!
+//! Writes `BENCH_memory.json` in the working directory and prints a table:
+//! per-step buffer allocations (fresh vs. pool-served), bytes, wall-clock,
+//! and the allocation-reduction factor. Also asserts the determinism
+//! contract: losses and parameter hashes are bit-identical with the pool
+//! on or off and at 1 vs. 4 kernel threads.
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin memory_microbench
+//! ```
+
+use exaclim_models::{DeepLabConfig, DeepLabV3Plus, Tiramisu, TiramisuConfig};
+use exaclim_nn::optim::{Optimizer, Sgd};
+use exaclim_nn::{Ctx, Layer};
+use exaclim_tensor::init::{randn, seeded_rng};
+use exaclim_tensor::{pool, profile, set_kernel_threads, DType, Tensor};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+/// One forward + backward + SGD step; returns the scalar "loss" (mean of
+/// the raw head output — enough to witness bit-identity).
+fn train_step(net: &mut dyn Layer, opt: &mut Sgd, x: &Tensor, ctx: &mut Ctx) -> f64 {
+    let y = net.forward(x, ctx);
+    let scale = 1.0 / y.numel() as f32;
+    let loss = y.as_slice().iter().map(|&v| v as f64).sum::<f64>() * scale as f64;
+    let g = Tensor::full(y.shape().clone(), DType::F32, scale);
+    net.backward(&g);
+    opt.step(&net.params());
+    loss
+}
+
+struct StepStats {
+    fresh_allocs: u64,
+    pool_served: u64,
+    bytes_fresh: u64,
+    bytes_reused: u64,
+    high_water_bytes: u64,
+    wall_ms: f64,
+    loss: f64,
+    param_hash: u64,
+}
+
+/// Builds a fresh model, runs `warmup + 1` steps, and measures the last.
+fn measure(model: &str, pooled: bool) -> StepStats {
+    pool::set_enabled(pooled);
+    pool::trim();
+    let mut rng = seeded_rng(42);
+    let mut net: Box<dyn Layer> = match model {
+        "tiramisu" => Box::new(Tiramisu::new(TiramisuConfig::tiny(4), &mut rng)),
+        "deeplab" => Box::new(DeepLabV3Plus::new(DeepLabConfig::tiny(4), &mut rng)),
+        other => panic!("unknown model {other}"),
+    };
+    let mut opt = Sgd::new(0.05);
+    let mut ctx = Ctx::train(0);
+    let mut data_rng = seeded_rng(7);
+    let x = randn([1, 4, 16, 16], DType::F32, 1.0, &mut data_rng);
+    for _ in 0..2 {
+        let _ = train_step(net.as_mut(), &mut opt, &x, &mut ctx);
+    }
+    let before = pool::stats();
+    let t0 = Instant::now();
+    let loss = train_step(net.as_mut(), &mut opt, &x, &mut ctx);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let d = pool::stats().since(&before);
+    StepStats {
+        fresh_allocs: d.fresh_allocs,
+        pool_served: d.pool_served,
+        bytes_fresh: d.bytes_fresh,
+        bytes_reused: d.bytes_reused,
+        high_water_bytes: d.high_water_bytes,
+        wall_ms,
+        loss,
+        param_hash: net.params().state_hash(),
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for model in ["tiramisu", "deeplab"] {
+        set_kernel_threads(4);
+        let off = measure(model, false);
+        let on = measure(model, true);
+        // Determinism contract: the pool must not touch a single bit, and
+        // neither may the thread-pool width.
+        assert_eq!(on.loss.to_bits(), off.loss.to_bits(), "{model}: pool changed the loss");
+        assert_eq!(on.param_hash, off.param_hash, "{model}: pool changed parameter bits");
+        set_kernel_threads(1);
+        let on_1t = measure(model, true);
+        assert_eq!(on_1t.loss.to_bits(), on.loss.to_bits(), "{model}: thread width changed the loss");
+        assert_eq!(on_1t.param_hash, on.param_hash, "{model}: thread width changed parameter bits");
+        set_kernel_threads(4);
+
+        // With zero steady-state fresh allocations the true factor is
+        // infinite; report the unpooled count as a finite lower bound so
+        // the JSON stays well-formed.
+        let total_off = off.fresh_allocs + off.pool_served;
+        let reduction = total_off as f64 / (on.fresh_allocs as f64).max(1.0);
+        println!("=== {model} (one steady-state train step, 4 threads) ===");
+        println!(
+            "  unpooled: {:>6} heap allocs, {:>9.2} MB fresh, {:>7.2} ms",
+            off.fresh_allocs,
+            off.bytes_fresh as f64 / 1e6,
+            off.wall_ms
+        );
+        println!(
+            "  pooled:   {:>6} heap allocs, {:>6} pool-served, {:>9.2} MB reused, {:>7.2} ms",
+            on.fresh_allocs,
+            on.pool_served,
+            on.bytes_reused as f64 / 1e6,
+            on.wall_ms
+        );
+        println!("  heap-allocation reduction: {reduction:.1}x, pool high water {:.2} MB", on.high_water_bytes as f64 / 1e6);
+        // The PR's acceptance bar.
+        assert!(
+            reduction >= 10.0,
+            "{model}: pool must cut heap allocations >= 10x (got {reduction:.1}x)"
+        );
+
+        // Allocation-traffic census column for a pooled step (the
+        // executed-profile counterpart of the Figure-3 footer).
+        if model == "tiramisu" {
+            profile::start();
+            {
+                let mut rng = seeded_rng(42);
+                let mut net = Tiramisu::new(TiramisuConfig::tiny(4), &mut rng);
+                let mut opt = Sgd::new(0.05);
+                let mut ctx = Ctx::train(0);
+                let mut data_rng = seeded_rng(7);
+                let x = randn([1, 4, 16, 16], DType::F32, 1.0, &mut data_rng);
+                let _ = train_step(&mut net, &mut opt, &x, &mut ctx);
+            }
+            let prof = profile::stop();
+            print!("  {}", exaclim_perfmodel::render_alloc_traffic(&prof.alloc));
+        }
+        println!();
+
+        // The in-tree json! macro takes single-token values: bind
+        // everything computed to a local first.
+        let (off_allocs, off_bytes, off_ms) = (off.fresh_allocs, off.bytes_fresh, off.wall_ms);
+        let (on_allocs, on_served) = (on.fresh_allocs, on.pool_served);
+        let (on_fresh_b, on_reused_b) = (on.bytes_fresh, on.bytes_reused);
+        let (on_hw, on_ms) = (on.high_water_bytes, on.wall_ms);
+        let unpooled = json!({
+            "heap_allocs": off_allocs,
+            "bytes_fresh": off_bytes,
+            "wall_ms": off_ms,
+        });
+        let pooled = json!({
+            "heap_allocs": on_allocs,
+            "pool_served": on_served,
+            "bytes_fresh": on_fresh_b,
+            "bytes_reused": on_reused_b,
+            "high_water_bytes": on_hw,
+            "wall_ms": on_ms,
+        });
+        rows.push(json!({
+            "model": model,
+            "unpooled": unpooled,
+            "pooled": pooled,
+            "heap_alloc_reduction": reduction,
+            "bit_identical_pool_on_off": true,
+            "bit_identical_threads_1_vs_4": true,
+        }));
+    }
+
+    let results = Value::Array(rows);
+    let out = json!({
+        "bench": "memory_microbench",
+        "step": "forward + backward + sgd on tiny 16x16 configs",
+        "results": results,
+    });
+    std::fs::write("BENCH_memory.json", serde_json::to_string_pretty(&out).expect("json"))
+        .expect("write BENCH_memory.json");
+    println!("wrote BENCH_memory.json");
+}

@@ -325,7 +325,7 @@ where
         let inv_n = 1.0 / cfg.ranks as f32;
         wire_bytes = 0;
         for bucket in &buckets {
-            let mut flat = Vec::with_capacity(bucket.elements);
+            let mut flat = exaclim_tensor::pool::take_with_capacity(bucket.elements);
             for &id in &bucket.tensor_ids {
                 params
                     .iter()
@@ -353,10 +353,12 @@ where
             for &id in &bucket.tensor_ids {
                 let p = params.iter().nth(id as usize).expect("tensor id in range");
                 let n = p.numel();
-                let avg: Vec<f32> = flat[off..off + n].iter().map(|&x| x * inv_n).collect();
-                p.set_grad(Tensor::from_vec(p.grad().shape().clone(), DType::F32, avg));
+                let mut avg = exaclim_tensor::pool::take_with_capacity(n);
+                avg.extend(flat[off..off + n].iter().map(|&x| x * inv_n));
+                p.set_grad(Tensor::from_pool(p.grad().shape().clone(), DType::F32, avg));
                 off += n;
             }
+            exaclim_tensor::pool::recycle(flat);
         }
 
         optimizer.step(&params);
@@ -716,7 +718,7 @@ where
             let buckets = fuse(&order, &sizes, cfg.fusion_threshold_bytes);
             let inv_n = 1.0 / cfg.ranks as f32;
             for bucket in &buckets {
-                let mut flat = Vec::with_capacity(bucket.elements);
+                let mut flat = exaclim_tensor::pool::take_with_capacity(bucket.elements);
                 for &id in &bucket.tensor_ids {
                     params
                         .iter()
@@ -739,10 +741,12 @@ where
                 for &id in &bucket.tensor_ids {
                     let p = params.iter().nth(id as usize).expect("tensor id in range");
                     let n = p.numel();
-                    let avg: Vec<f32> = flat[off..off + n].iter().map(|&x| x * inv_n).collect();
-                    p.set_grad(Tensor::from_vec(p.grad().shape().clone(), DType::F32, avg));
+                    let mut avg = exaclim_tensor::pool::take_with_capacity(n);
+                    avg.extend(flat[off..off + n].iter().map(|&x| x * inv_n));
+                    p.set_grad(Tensor::from_pool(p.grad().shape().clone(), DType::F32, avg));
                     off += n;
                 }
+                exaclim_tensor::pool::recycle(flat);
             }
 
             optimizer.step(&params);

@@ -80,7 +80,7 @@ impl DenseBlock {
 
 impl Layer for DenseBlock {
     fn forward(&mut self, x: &Tensor, ctx: &mut Ctx) -> Tensor {
-        let mut feats: Vec<Tensor> = vec![x.clone()];
+        let mut feats: Vec<Tensor> = vec![ctx.workspace.cache(x)];
         for layer in self.layers.iter_mut() {
             let inp = if feats.len() == 1 {
                 feats[0].clone()
@@ -179,7 +179,7 @@ pub struct Bottleneck {
     conv3: Conv2d,
     bn3: BatchNorm2d,
     shortcut: Option<(Conv2d, BatchNorm2d)>,
-    relu_cache: Option<Tensor>,
+    relu_out: Option<Tensor>,
 }
 
 impl Bottleneck {
@@ -229,7 +229,7 @@ impl Bottleneck {
             conv3,
             bn3,
             shortcut,
-            relu_cache: None,
+            relu_out: None,
         }
     }
 
@@ -254,13 +254,16 @@ impl Layer for Bottleneck {
         };
         let pre = ops::add(&main, &skip);
         let y = ops::relu_forward(&pre);
-        self.relu_cache = Some(pre);
+        // Cache the *output*: the backward mask (y > 0 iff pre > 0) comes
+        // back out of it, so `pre` can be dropped here instead of living
+        // until backward alongside y.
+        self.relu_out = Some(ctx.workspace.cache(&y));
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let pre = self.relu_cache.take().expect("Bottleneck::backward before forward");
-        let g = ops::relu_backward(&pre, grad_out);
+        let y = self.relu_out.take().expect("Bottleneck::backward before forward");
+        let g = ops::relu_backward_from_output(&y, grad_out);
         // Main branch.
         let mut gm = self.bn3.backward(&g);
         gm = self.conv3.backward(&gm);

@@ -2,7 +2,7 @@
 
 use crate::param::ParamSet;
 use exaclim_tensor::ops::ConvAlgo;
-use exaclim_tensor::Tensor;
+use exaclim_tensor::{Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -15,6 +15,10 @@ pub struct Ctx {
     pub rng: StdRng,
     /// Convolution algorithm selection.
     pub algo: ConvAlgo,
+    /// Pool-backed scratch and activation-cache source. Layers draw
+    /// backward-pass caches and temporary buffers through this handle so
+    /// the replica's per-step allocation traffic is pooled and countable.
+    pub workspace: Workspace,
 }
 
 impl Ctx {
@@ -24,6 +28,7 @@ impl Ctx {
             training: true,
             rng: StdRng::seed_from_u64(seed),
             algo: ConvAlgo::Auto,
+            workspace: Workspace::new(),
         }
     }
 
@@ -33,6 +38,7 @@ impl Ctx {
             training: false,
             rng: StdRng::seed_from_u64(0),
             algo: ConvAlgo::Auto,
+            workspace: Workspace::new(),
         }
     }
 }

@@ -53,7 +53,9 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, x: &Tensor, ctx: &mut Ctx) -> Tensor {
-        self.cached_input = Some(x.clone());
+        // The cache shares `x`'s storage (copy-on-write); a buffer copy
+        // happens only if someone later mutates either side.
+        self.cached_input = Some(ctx.workspace.cache(x));
         // Mixed precision: cast the f32 master weight to the activation
         // precision for compute, as tensor cores do.
         let w = self.weight.value().cast(x.dtype());
@@ -124,8 +126,8 @@ impl Deconv2d {
 }
 
 impl Layer for Deconv2d {
-    fn forward(&mut self, x: &Tensor, _ctx: &mut Ctx) -> Tensor {
-        self.cached_input = Some(x.clone());
+    fn forward(&mut self, x: &Tensor, ctx: &mut Ctx) -> Tensor {
+        self.cached_input = Some(ctx.workspace.cache(x));
         let w = self.weight.value().cast(x.dtype());
         ops::deconv2d_forward(x, &w, self.params)
     }
@@ -200,7 +202,7 @@ impl Layer for BatchNorm2d {
         } else {
             // Inference: normalize with running stats.
             let (n, c, h, w) = x.shape().nchw();
-            let mut y = Tensor::zeros(x.shape().clone(), x.dtype());
+            let mut y = Tensor::zeros_in(x.shape().clone(), x.dtype(), &mut ctx.workspace);
             let g = self.gamma.value();
             let b = self.beta.value();
             let rm = self.running_mean.value();
@@ -246,14 +248,19 @@ impl Layer for BatchNorm2d {
 }
 
 /// ReLU activation.
+///
+/// The backward mask is recomputed from the cached *output* (`y > 0` iff
+/// `x > 0` for `y = max(0, x)`), so the layer keeps the tensor it already
+/// produced alive instead of a second copy of its input — halving the
+/// activation-cache footprint of every conv→ReLU pair.
 pub struct ReLU {
-    cached_input: Option<Tensor>,
+    cached_output: Option<Tensor>,
 }
 
 impl ReLU {
     /// New ReLU.
     pub fn new() -> ReLU {
-        ReLU { cached_input: None }
+        ReLU { cached_output: None }
     }
 }
 
@@ -264,14 +271,15 @@ impl Default for ReLU {
 }
 
 impl Layer for ReLU {
-    fn forward(&mut self, x: &Tensor, _ctx: &mut Ctx) -> Tensor {
-        self.cached_input = Some(x.clone());
-        ops::relu_forward(x)
+    fn forward(&mut self, x: &Tensor, ctx: &mut Ctx) -> Tensor {
+        let y = ops::relu_forward(x);
+        self.cached_output = Some(ctx.workspace.cache(&y));
+        y
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.take().expect("ReLU::backward before forward");
-        ops::relu_backward(&x, grad_out)
+        let y = self.cached_output.take().expect("ReLU::backward before forward");
+        ops::relu_backward_from_output(&y, grad_out)
     }
 
     fn name(&self) -> String {
@@ -306,7 +314,11 @@ impl Layer for Dropout {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         match self.mask.take() {
-            Some(mask) => ops::dropout_backward(grad_out, &mask),
+            Some(mask) => {
+                let g = ops::dropout_backward(grad_out, &mask);
+                exaclim_tensor::pool::recycle(mask);
+                g
+            }
             None => grad_out.clone(),
         }
     }
@@ -348,8 +360,7 @@ impl Layer for MaxPool2d {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let (shape, arg) = self.cache.take().expect("MaxPool2d::backward before forward");
-        let x = Tensor::zeros(shape, self.input_dtype);
-        ops::maxpool2d_backward(&x, grad_out, &arg)
+        ops::maxpool2d_backward_shaped(shape, self.input_dtype, grad_out, &arg)
     }
 
     fn name(&self) -> String {

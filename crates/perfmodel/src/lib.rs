@@ -22,6 +22,6 @@ pub mod scaling;
 pub mod tts;
 
 pub use census::{census_from_profile, census_from_spec, workload_from_spec};
-pub use report::{fig2_row, fig2_table, fig3_table, Fig2Row, Fig3Row};
+pub use report::{fig2_row, fig2_table, fig3_table, render_alloc_traffic, Fig2Row, Fig3Row};
 pub use scaling::{fig4_series, fig5_series, ScalingSeries};
 pub use tts::{time_to_solution, TimeToSolution};

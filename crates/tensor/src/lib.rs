@@ -20,15 +20,21 @@
 //!   category, FLOP count and bytes moved, using the paper's conventions
 //!   (Section VI: 2 FLOPs per multiply-add, implicit-GEMM convolution
 //!   counts). This is the data source for the Figure 2/3/8/9 analyses.
+//! * [`pool`] — the buffer-recycling tensor memory pool (§VII-A's "improve
+//!   the memory management"): size-class free lists behind every tensor's
+//!   copy-on-write storage, plus the [`Workspace`] handle layers draw
+//!   scratch and activation-cache buffers through.
 
 pub mod half;
 pub mod init;
 pub mod ops;
+pub mod pool;
 pub mod profile;
 pub mod shape;
 pub mod tensor;
 
 pub use crate::half::F16;
+pub use crate::pool::Workspace;
 pub use crate::shape::Shape;
 pub use crate::tensor::{DType, Tensor};
 

@@ -11,6 +11,7 @@
 //! Both count the same `2·N·K·C·R·S·Ho·Wo` FLOPs.
 
 use crate::ops::gemm::{gemm_a_bt, gemm_noprofile, gemm_strided};
+use crate::pool;
 use crate::profile::{self, KernelKind};
 use crate::shape::conv_out_dim;
 use crate::tensor::Tensor;
@@ -88,6 +89,18 @@ fn record_conv(name: &'static str, flops: u64, read: &[&Tensor], written: &Tenso
 /// Panics if channel counts disagree or the kernel does not fit the padded
 /// input.
 pub fn conv2d_forward(x: &Tensor, w: &Tensor, p: Conv2dParams, algo: ConvAlgo) -> Tensor {
+    let y = conv2d_forward_noprofile(x, w, p, algo);
+    let (n, k, ho, wo) = y.shape().nchw();
+    let (_, c, r, s) = w.shape().nchw();
+    record_conv("conv2d_fwd", conv_flops(n, k, c, r, s, ho, wo), &[x, w], &y);
+    y
+}
+
+/// [`conv2d_forward`] without a census entry. Used by ops that account the
+/// convolution's work at their own level — e.g. a fused epilogue that
+/// emits a single combined record — so the census never double-counts the
+/// inner kernel (the `gemm_noprofile` convention, one level up).
+pub fn conv2d_forward_noprofile(x: &Tensor, w: &Tensor, p: Conv2dParams, algo: ConvAlgo) -> Tensor {
     let (n, c, h, wd) = x.shape().nchw();
     let (k, cw, r, s) = w.shape().nchw();
     assert_eq!(c, cw, "conv2d: input has {c} channels but weight expects {cw}");
@@ -106,7 +119,6 @@ pub fn conv2d_forward(x: &Tensor, w: &Tensor, p: Conv2dParams, algo: ConvAlgo) -
         forward_direct(x, w, p, &mut y);
     }
     y.requantize();
-    record_conv("conv2d_fwd", conv_flops(n, k, c, r, s, ho, wo), &[x, w], &y);
     y
 }
 
@@ -207,7 +219,7 @@ fn forward_im2col(x: &Tensor, w: &Tensor, p: Conv2dParams, y: &mut Tensor) {
     let ys = y.as_mut_slice();
     let crs = c * r * s;
     let hw = ho * wo;
-    let mut col = vec![0.0f32; crs * COL_STRIP.min(hw.max(1))];
+    let mut col = pool::take_scratch(crs * COL_STRIP.min(hw.max(1)));
     // Images and strips run serially; parallelism lives inside the strip
     // (im2col rows, GEMM tile grid), which keeps the peak memory bounded
     // and feeds the pool a few large dispatches instead of many tiny ones.
@@ -239,6 +251,7 @@ fn forward_im2col(x: &Tensor, w: &Tensor, p: Conv2dParams, y: &mut Tensor) {
             gemm_strided(k, sw, crs, ws, strip, &mut yn[p0..], hw);
         }
     }
+    pool::recycle(col);
 }
 
 /// Gradients of a convolution.
@@ -387,16 +400,17 @@ pub fn conv2d_weight_grad_gemm(x: &Tensor, grad_out: &Tensor, kshape: (usize, us
     assert_eq!(c, ck);
     let (_, _, ho, wo) = grad_out.shape().nchw();
     let crs = c * r * s;
-    let mut gw = vec![0.0f32; k * crs];
+    let mut gw = pool::take_zeroed(k * crs);
     let xs = x.as_slice();
     let gos = grad_out.as_slice();
-    let mut col = vec![0.0f32; crs * ho * wo];
+    let mut col = pool::take_scratch(crs * ho * wo);
     for ni in 0..n {
         im2col(xs, ni, c, h, wd, r, s, ho, wo, p, &mut col);
         // gw[k, crs] += gout_n[k, howo] · col[crs, howo]ᵀ
         gemm_a_bt(k, crs, ho * wo, &gos[ni * k * ho * wo..(ni + 1) * k * ho * wo], &col, &mut gw);
     }
-    Tensor::from_vec([k, c, r, s], crate::tensor::DType::F32, gw)
+    pool::recycle(col);
+    Tensor::from_pool([k, c, r, s], crate::tensor::DType::F32, gw)
 }
 
 #[cfg(test)]
@@ -543,6 +557,7 @@ mod tests {
 
     #[test]
     fn census_records_forward_and_backward() {
+        let _g = crate::profile::census_test_guard();
         let (x, w) = small_case();
         crate::profile::set_phase(crate::profile::Phase::Forward);
         let (y, prof) = crate::profile::capture(|| {

@@ -9,7 +9,7 @@
 //! saving the paper predicts: two fewer kernel launches and two fewer
 //! full-tensor read+write round trips per convolution.
 
-use crate::ops::conv::{conv2d_forward, conv_flops, Conv2dParams, ConvAlgo};
+use crate::ops::conv::{conv2d_forward, conv2d_forward_noprofile, conv_flops, Conv2dParams, ConvAlgo};
 use crate::profile::{self, KernelKind};
 use crate::tensor::Tensor;
 
@@ -40,25 +40,19 @@ pub fn conv2d_forward_fused(
     p: Conv2dParams,
     algo: ConvAlgo,
 ) -> Tensor {
-    // Run the core convolution without its own census entry; we emit one
-    // fused record below.
-    let was_enabled = profile::enabled();
-    let mut y = if was_enabled {
-        // Temporarily capture-and-discard the inner conv record by running
-        // the conv, then replacing its census entry with the fused one.
-        // Simpler and race-free: record the fused kernel *in addition* is
-        // wrong; instead we compute with profiling suspended.
-        let snapshot = profile::stop();
-        let y = conv2d_forward(x, w, p, algo);
-        // Restore prior records and re-enable.
-        profile::start();
-        for r in snapshot.records {
-            profile::record_raw(r);
-        }
-        y
-    } else {
-        conv2d_forward(x, w, p, algo)
-    };
+    if epilogue == Epilogue::None {
+        // No fusion requested: fall through to the plain convolution, which
+        // emits the one canonical `conv2d_fwd` record. (Recording a fused
+        // entry *as well* would double-count the kernel's bytes and FLOPs
+        // against `census_from_spec` — pinned by the census tests below.)
+        return conv2d_forward(x, w, p, algo);
+    }
+
+    // Run the core convolution without its own census entry and emit one
+    // fused record below. The dedicated no-profile entry point replaces
+    // the previous global stop()/start() suspension dance, which dropped
+    // and reordered concurrent threads' records.
+    let mut y = conv2d_forward_noprofile(x, w, p, algo);
 
     let (n, k, ho, wo) = y.shape().nchw();
     let (_, c, r, s) = w.shape().nchw();
@@ -142,6 +136,7 @@ mod tests {
 
     #[test]
     fn fusion_reduces_kernels_and_bytes() {
+        let _g = crate::profile::census_test_guard();
         let (x, w, b) = setup();
         let p = Conv2dParams::padded(1);
         crate::profile::set_phase(crate::profile::Phase::Forward);
@@ -174,6 +169,63 @@ mod tests {
         add_bias_nchw(&mut biased, &b);
         let fused_bias = conv2d_forward_fused(&x, &w, Some(&b), Epilogue::Bias, p, ConvAlgo::Direct);
         assert_eq!(fused_bias.as_slice(), biased.as_slice());
+    }
+
+    /// Pin for the census double-count bug: an `Epilogue::None` fused call
+    /// must produce exactly the record a plain convolution produces — one
+    /// kernel, canonical name, identical FLOPs and bytes — never a fused
+    /// record stacked on top of (or in place of) the inner conv's.
+    #[test]
+    fn none_epilogue_census_matches_plain_conv_exactly() {
+        let _g = crate::profile::census_test_guard();
+        let (x, w, _) = setup();
+        let p = Conv2dParams::padded(1);
+        crate::profile::set_phase(crate::profile::Phase::Forward);
+        let ((), plain) = crate::profile::capture(|| {
+            let _ = conv2d_forward(&x, &w, p, ConvAlgo::Direct);
+        });
+        let ((), fused) = crate::profile::capture(|| {
+            let _ = conv2d_forward_fused(&x, &w, None, Epilogue::None, p, ConvAlgo::Direct);
+        });
+        assert_eq!(plain.total_kernels(), 1);
+        assert_eq!(fused.total_kernels(), 1, "None epilogue must not add a second record");
+        let (pr, fr) = (&plain.records[0], &fused.records[0]);
+        assert_eq!(fr.name, pr.name, "canonical conv2d_fwd record");
+        assert_eq!(fr.flops, pr.flops);
+        assert_eq!(fr.bytes_read, pr.bytes_read);
+        assert_eq!(fr.bytes_written, pr.bytes_written);
+    }
+
+    /// The old implementation suspended profiling *globally* around the
+    /// inner conv (stop()/start()), so concurrently running fused convs
+    /// dropped each other's records. The no-profile entry point is purely
+    /// thread-local: every launch must land in the census.
+    #[test]
+    fn concurrent_fused_convs_all_record() {
+        let _g = crate::profile::census_test_guard();
+        let (x, w, b) = setup();
+        let p = Conv2dParams::padded(1);
+        crate::profile::set_phase(crate::profile::Phase::Forward);
+        let ((), prof) = crate::profile::capture(|| {
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        for _ in 0..8 {
+                            let _ = conv2d_forward_fused(
+                                &x,
+                                &w,
+                                Some(&b),
+                                Epilogue::BiasRelu,
+                                p,
+                                ConvAlgo::Direct,
+                            );
+                        }
+                    });
+                }
+            });
+        });
+        assert_eq!(prof.total_kernels(), 32, "no fused launch may vanish from the census");
+        assert!(prof.records.iter().all(|r| r.name == "conv2d_fwd_fused"));
     }
 
     #[test]

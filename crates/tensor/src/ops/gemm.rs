@@ -298,7 +298,7 @@ fn gemm_blocked(
 
     // One packed-A buffer for the whole kc-panel, shared read-only by all
     // tiles (packed in parallel below: one task per MR-micro-panel).
-    let mut ap = vec![0.0f32; m_panels * MR * KC];
+    let mut ap = crate::pool::take_scratch(m_panels * MR * KC);
 
     for pc in (0..k).step_by(KC) {
         let kc = KC.min(k - pc);
@@ -317,7 +317,7 @@ fn gemm_blocked(
             // keeps every task independent (content is tile-invariant, so
             // numerics are unaffected).
             let nr_panels = nc.div_ceil(NR);
-            let mut bp = vec![0.0f32; nr_panels * NR * kc];
+            let mut bp = crate::pool::take_scratch(nr_panels * NR * kc);
             bp.chunks_exact_mut(NR * kc).enumerate().for_each(|(panel, buf)| {
                 pack_b_panel(b, b_layout, n, k, j0 + panel * NR, pc, kc, buf);
             });
@@ -343,8 +343,10 @@ fn gemm_blocked(
                     }
                 }
             }
+            crate::pool::recycle(bp);
         });
     }
+    crate::pool::recycle(ap);
 }
 
 #[cfg(test)]

@@ -94,6 +94,7 @@ mod tests {
 
     #[test]
     fn census_counts_transposes() {
+        let _g = crate::profile::census_test_guard();
         let x = Tensor::zeros([1, 4, 3, 3], DType::F32);
         crate::profile::set_phase(crate::profile::Phase::Forward);
         let ((), prof) = crate::profile::capture(|| {

@@ -25,8 +25,12 @@ pub use interp::{bilinear_resize_backward, bilinear_resize_forward};
 pub use layout::{nchw_to_nhwc, nhwc_to_nchw};
 pub use norm::{batchnorm_backward, batchnorm_forward, BatchNormCache};
 pub use pointwise::{
-    add, add_bias_nchw, bias_grad_nchw, concat_channels, dropout_backward, dropout_forward,
-    mul, relu_backward, relu_forward, scale_tensor, split_channels,
+    add, add_bias_, add_bias_nchw, bias_grad_nchw, concat_channels, dropout_backward,
+    dropout_forward, mul, relu_, relu_backward, relu_backward_from_output, relu_forward,
+    scale_add_, scale_tensor, split_channels,
 };
-pub use pool::{avgpool_global_backward, avgpool_global_forward, maxpool2d_backward, maxpool2d_forward};
+pub use pool::{
+    avgpool_global_backward, avgpool_global_forward, maxpool2d_backward,
+    maxpool2d_backward_shaped, maxpool2d_forward,
+};
 pub use reduce::{log_softmax_channels, softmax_channels};

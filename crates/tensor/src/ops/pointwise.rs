@@ -4,6 +4,7 @@
 //! kernel-census tables (Figures 3/8/9) — individually cheap, collectively
 //! hundreds of launches per step.
 
+use crate::pool;
 use crate::profile::{self, KernelKind};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
@@ -19,9 +20,9 @@ fn record_pw(name: &'static str, flops: u64, read: u64, written: u64) {
     profile::record(KernelKind::Pointwise, name, flops, read, written);
 }
 
-/// `out[i] = f(a[i])` over parallel blocks.
+/// `out[i] = f(a[i])` over parallel blocks (output drawn from the pool).
 fn map1(a: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
-    let mut data = vec![0.0f32; a.len()];
+    let mut data = pool::take_zeroed(a.len());
     data.par_chunks_mut(PW_BLOCK)
         .zip(a.par_chunks(PW_BLOCK))
         .for_each(|(d, x)| {
@@ -32,9 +33,9 @@ fn map1(a: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
     data
 }
 
-/// `out[i] = f(a[i], b[i])` over parallel blocks.
+/// `out[i] = f(a[i], b[i])` over parallel blocks (output drawn from the pool).
 fn map2(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
-    let mut data = vec![0.0f32; a.len()];
+    let mut data = pool::take_zeroed(a.len());
     data.par_chunks_mut(PW_BLOCK)
         .zip(a.par_chunks(PW_BLOCK))
         .zip(b.par_chunks(PW_BLOCK))
@@ -82,6 +83,43 @@ pub fn scale_tensor(a: &Tensor, s: f32) -> Tensor {
     out
 }
 
+/// In-place `x[i] = f(x[i])` over parallel blocks — the zero-allocation
+/// epilogue path.
+fn map1_(x: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
+    x.par_chunks_mut(PW_BLOCK).for_each(|chunk| {
+        for v in chunk.iter_mut() {
+            *v = f(*v);
+        }
+    });
+}
+
+/// In-place ReLU: `x = max(0, x)`. Reuses the input buffer — no
+/// allocation, one read + one write per element.
+pub fn relu_(x: &mut Tensor) {
+    let bytes = x.storage_bytes() as u64;
+    map1_(x.as_mut_slice(), |v| v.max(0.0));
+    // max(0, ·) of an f16-exact value is f16-exact; no requantize needed.
+    record_pw("relu_", x.numel() as u64, bytes, bytes);
+}
+
+/// In-place scale-accumulate: `y[i] = s·y[i] + x[i]` (quantized if FP16) —
+/// the momentum/running-average update shape, fused into one pass over `y`.
+pub fn scale_add_(y: &mut Tensor, s: f32, x: &Tensor) {
+    assert_eq!(y.shape(), x.shape(), "scale_add_ shape mismatch");
+    let bytes = y.storage_bytes() as u64;
+    {
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        ys.par_chunks_mut(PW_BLOCK).zip(xs.par_chunks(PW_BLOCK)).for_each(|(yc, xc)| {
+            for (v, &u) in yc.iter_mut().zip(xc.iter()) {
+                *v = s * *v + u;
+            }
+        });
+    }
+    y.requantize();
+    record_pw("scale_add_", 2 * y.numel() as u64, bytes + x.storage_bytes() as u64, bytes);
+}
+
 /// Adds a per-channel bias `[C]` to an NCHW tensor in place.
 #[allow(clippy::needless_range_loop)]
 pub fn add_bias_nchw(x: &mut Tensor, bias: &Tensor) {
@@ -100,6 +138,13 @@ pub fn add_bias_nchw(x: &mut Tensor, bias: &Tensor) {
     }
     x.requantize();
     record_pw("bias_add", x.numel() as u64, bytes + bias.storage_bytes() as u64, bytes);
+}
+
+/// In-place-family alias of [`add_bias_nchw`] (the op was always
+/// in-place; the underscore name groups it with [`relu_`] and
+/// [`scale_add_`]).
+pub fn add_bias_(x: &mut Tensor, bias: &Tensor) {
+    add_bias_nchw(x, bias);
 }
 
 /// Per-channel bias gradient: sums `grad_out` over N, H, W.
@@ -149,6 +194,24 @@ pub fn relu_backward(x: &Tensor, grad_out: &Tensor) -> Tensor {
     out
 }
 
+/// ReLU backward from the cached *output*: for `y = max(0, x)`,
+/// `y > 0 ⟺ x > 0`, so the forward result doubles as the gradient mask
+/// and the input never needs caching — this halves the activation-cache
+/// footprint of every conv→ReLU pair. Bit-identical to
+/// [`relu_backward`] on the matching input.
+pub fn relu_backward_from_output(y: &Tensor, grad_out: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), grad_out.shape(), "relu_backward_from_output shape mismatch");
+    let data = map2(y.as_slice(), grad_out.as_slice(), |v, g| if v > 0.0 { g } else { 0.0 });
+    let out = Tensor::from_vec(y.shape().clone(), grad_out.dtype(), data);
+    record_pw(
+        "relu_bwd",
+        y.numel() as u64,
+        (y.storage_bytes() + grad_out.storage_bytes()) as u64,
+        out.storage_bytes() as u64,
+    );
+    out
+}
+
 /// Inverted dropout forward. Returns the output and the keep mask
 /// (scaled by `1/keep_prob`) used by the backward pass.
 pub fn dropout_forward(x: &Tensor, drop_prob: f32, rng: &mut StdRng) -> (Tensor, Vec<f32>) {
@@ -157,9 +220,8 @@ pub fn dropout_forward(x: &Tensor, drop_prob: f32, rng: &mut StdRng) -> (Tensor,
     let inv = 1.0 / keep;
     // Mask generation must stay sequential: the RNG stream defines the
     // mask, and splitting it across threads would change the draws.
-    let mask: Vec<f32> = (0..x.numel())
-        .map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 })
-        .collect();
+    let mut mask = pool::take_with_capacity(x.numel());
+    mask.extend((0..x.numel()).map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 }));
     let data = map2(x.as_slice(), &mask, |v, m| v * m);
     let out = Tensor::from_vec(x.shape().clone(), x.dtype(), data);
     record_pw(
@@ -313,6 +375,37 @@ mod tests {
         let b = Tensor::from_vec([2, 1, 1, 1], DType::F32, vec![10.0, 20.0]);
         let y = concat_channels(&[&a, &b]);
         assert_eq!(y.as_slice(), &[1.0, 10.0, 2.0, 20.0]);
+    }
+
+    #[test]
+    fn in_place_relu_matches_out_of_place() {
+        let x = Tensor::from_vec([5], DType::F32, vec![-2.0, -0.0, 0.0, 1.5, -3.0]);
+        let y = relu_forward(&x);
+        let mut z = x.clone();
+        relu_(&mut z);
+        assert_eq!(z.as_slice(), y.as_slice());
+    }
+
+    #[test]
+    fn relu_backward_from_output_is_bit_identical_to_input_mask() {
+        use crate::init::{randn, seeded_rng};
+        let mut rng = seeded_rng(91);
+        let x = randn([2, 3, 4, 4], DType::F32, 1.0, &mut rng);
+        let g = randn([2, 3, 4, 4], DType::F32, 1.0, &mut rng);
+        let y = relu_forward(&x);
+        let from_input = relu_backward(&x, &g);
+        let from_output = relu_backward_from_output(&y, &g);
+        assert_eq!(from_input.as_slice(), from_output.as_slice());
+    }
+
+    #[test]
+    fn scale_add_fuses_momentum_update() {
+        let mut v = Tensor::from_vec([3], DType::F32, vec![1.0, 2.0, 3.0]);
+        let g = Tensor::from_vec([3], DType::F32, vec![0.5, -0.5, 1.0]);
+        scale_add_(&mut v, 0.9, &g);
+        let expected: Vec<f32> =
+            [(1.0, 0.5), (2.0, -0.5), (3.0, 1.0)].iter().map(|&(v, g): &(f32, f32)| 0.9 * v + g).collect();
+        assert_eq!(v.as_slice(), expected.as_slice());
     }
 
     #[test]

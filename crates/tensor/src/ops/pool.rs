@@ -70,10 +70,25 @@ pub fn maxpool2d_forward(
 }
 
 /// Backward max pooling: routes each output gradient to its argmax input.
+///
+/// Only the input's shape and dtype are consulted — see
+/// [`maxpool2d_backward_shaped`] for callers that no longer hold the
+/// forward input tensor.
 pub fn maxpool2d_backward(x: &Tensor, grad_out: &Tensor, argmax: &[u32]) -> Tensor {
-    let (_, _, h, w) = x.shape().nchw();
+    maxpool2d_backward_shaped(x.shape().clone(), x.dtype(), grad_out, argmax)
+}
+
+/// [`maxpool2d_backward`] from shape metadata alone, so layers don't have
+/// to materialize a zero tensor of the forward input just to describe it.
+pub fn maxpool2d_backward_shaped(
+    shape: crate::shape::Shape,
+    dtype: crate::tensor::DType,
+    grad_out: &Tensor,
+    argmax: &[u32],
+) -> Tensor {
+    let (_, _, h, w) = shape.nchw();
     let (_, _, ho, wo) = grad_out.shape().nchw();
-    let mut gx = Tensor::zeros(x.shape().clone(), x.dtype());
+    let mut gx = Tensor::zeros(shape, dtype);
     {
         let gos = grad_out.as_slice();
         let gxs = gx.as_mut_slice();

@@ -121,11 +121,47 @@ pub struct KernelRecord {
     pub bytes_written: u64,
 }
 
+/// Allocator traffic over a recorded region — the census's memory column.
+///
+/// Filled from [`crate::pool`] statistics deltas taken at [`start`] and
+/// [`stop`], so it covers exactly the same region as the kernel records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocTraffic {
+    /// Buffer requests that hit the system allocator.
+    pub fresh_allocs: u64,
+    /// Buffer requests served from the recycling pool.
+    pub pool_served: u64,
+    /// Bytes obtained as fresh heap allocations.
+    pub bytes_fresh: u64,
+    /// Bytes obtained from recycled buffers.
+    pub bytes_reused: u64,
+    /// Pool high-water mark (absolute, at `stop` time).
+    pub high_water_bytes: u64,
+}
+
+impl AllocTraffic {
+    /// Total buffer requests in the region.
+    pub fn total_allocs(&self) -> u64 {
+        self.fresh_allocs + self.pool_served
+    }
+
+    /// Fraction of requests served by the pool, in `[0, 1]`.
+    pub fn reuse_fraction(&self) -> f64 {
+        let total = self.total_allocs();
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool_served as f64 / total as f64
+    }
+}
+
 /// Aggregate census over a recorded region.
 #[derive(Debug, Clone, Default)]
 pub struct Profile {
     /// Every kernel launch in order.
     pub records: Vec<KernelRecord>,
+    /// Allocator traffic during the region.
+    pub alloc: AllocTraffic,
 }
 
 /// Per-category aggregate of a [`Profile`].
@@ -192,11 +228,16 @@ thread_local! {
     };
 }
 
+/// Pool-statistics snapshot taken at [`start`], consumed by [`stop`] to
+/// report the region's allocator-traffic delta.
+static POOL_AT_START: Mutex<Option<crate::pool::PoolStats>> = Mutex::new(None);
+
 /// Begins recording. Any previous un-collected profile is discarded.
 pub fn start() {
     for shard in SHARDS.lock().iter() {
         shard.lock().clear();
     }
+    *POOL_AT_START.lock() = Some(crate::pool::stats());
     ENABLED.store(true, Ordering::SeqCst);
 }
 
@@ -212,6 +253,18 @@ pub fn stop() -> Profile {
     for shard in SHARDS.lock().iter() {
         prof.records.append(&mut shard.lock());
     }
+    let now = crate::pool::stats();
+    let delta = match POOL_AT_START.lock().take() {
+        Some(at_start) => now.since(&at_start),
+        None => now,
+    };
+    prof.alloc = AllocTraffic {
+        fresh_allocs: delta.fresh_allocs,
+        pool_served: delta.pool_served,
+        bytes_fresh: delta.bytes_fresh,
+        bytes_reused: delta.bytes_reused,
+        high_water_bytes: delta.high_water_bytes,
+    };
     prof
 }
 
@@ -279,16 +332,22 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Profile) {
     (out, prof)
 }
 
+/// Serializes tests that exercise the global census recorder (parallel
+/// test threads would interleave records and corrupt exact-count
+/// assertions). Test-support only.
+#[doc(hidden)]
+pub fn census_test_guard() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // Profile state is global; serialize the tests that touch it.
-    static GUARD: Mutex<()> = Mutex::new(());
-
     #[test]
     fn capture_collects_records() {
-        let _g = GUARD.lock();
+        let _g = census_test_guard();
         set_phase(Phase::Forward);
         let ((), prof) = capture(|| {
             record(KernelKind::Conv, "k1", 100, 10, 20);
@@ -309,7 +368,7 @@ mod tests {
 
     #[test]
     fn disabled_recording_is_dropped() {
-        let _g = GUARD.lock();
+        let _g = census_test_guard();
         let before = enabled();
         assert!(!before, "no census should be active between tests");
         record(KernelKind::Conv, "ignored", 1, 1, 1);
@@ -319,7 +378,7 @@ mod tests {
 
     #[test]
     fn optimizer_phase_maps_pointwise_to_optimizer() {
-        let _g = GUARD.lock();
+        let _g = census_test_guard();
         set_phase(Phase::Optimizer);
         let ((), prof) = capture(|| {
             record(KernelKind::Pointwise, "sgd", 10, 4, 4);
@@ -329,8 +388,27 @@ mod tests {
     }
 
     #[test]
+    fn alloc_traffic_covers_the_captured_region_only() {
+        let _g = census_test_guard();
+        // Traffic outside the capture must not leak into the column.
+        let _warmup = crate::tensor::Tensor::zeros([64], crate::tensor::DType::F32);
+        let ((), prof) = capture(|| {
+            let a = crate::tensor::Tensor::zeros([32, 32], crate::tensor::DType::F32);
+            drop(a);
+            let _b = crate::tensor::Tensor::zeros([32, 32], crate::tensor::DType::F32);
+        });
+        assert_eq!(prof.alloc.total_allocs(), 2, "two tensor allocations in region");
+        assert!(
+            prof.alloc.bytes_fresh + prof.alloc.bytes_reused >= 2 * 32 * 32 * 4,
+            "both requests accounted by bytes"
+        );
+        let ((), empty) = capture(|| {});
+        assert_eq!(empty.alloc.total_allocs(), 0);
+    }
+
+    #[test]
     fn concurrent_records_all_land_in_the_census() {
-        let _g = GUARD.lock();
+        let _g = census_test_guard();
         set_phase(Phase::Forward);
         let ((), prof) = capture(|| {
             let threads: Vec<_> = (0..4)

@@ -1,8 +1,10 @@
 //! The dense [`Tensor`] type.
 
 use crate::half::{quantize_f16, quantize_f16_slice};
+use crate::pool::{self, PoolBuf, Workspace};
 use crate::profile::{self, KernelKind};
 use crate::shape::Shape;
+use std::sync::Arc;
 
 /// Storage precision of a tensor.
 ///
@@ -45,23 +47,34 @@ impl std::fmt::Display for DType {
 /// Values are physically held as `f32`; when `dtype` is [`DType::F16`]
 /// every stored value has been rounded through binary16, so the in-memory
 /// image is bit-equivalent (up to widening) to a true `u16` half buffer.
+///
+/// Storage is a pooled, copy-on-write buffer (`Arc<PoolBuf>`): `clone()`
+/// and [`Tensor::reshape`] share the buffer at zero cost, the first
+/// mutation of a shared tensor copies it (through the pool), and the last
+/// owner returns the buffer to the [`crate::pool`] free lists on drop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     dtype: DType,
-    data: Vec<f32>,
+    data: Arc<PoolBuf>,
 }
 
 impl Tensor {
-    /// A tensor of zeros.
+    /// A tensor of zeros, drawn from the buffer pool.
     pub fn zeros(shape: impl Into<Shape>, dtype: DType) -> Tensor {
         let shape = shape.into();
         let numel = shape.numel();
         Tensor {
             shape,
             dtype,
-            data: vec![0.0; numel],
+            data: Arc::new(PoolBuf::from_vec(pool::take_zeroed(numel))),
         }
+    }
+
+    /// A pooled zero tensor accounted against `ws` — the workspace-aware
+    /// variant layers use for per-forward scratch outputs.
+    pub fn zeros_in(shape: impl Into<Shape>, dtype: DType, ws: &mut Workspace) -> Tensor {
+        ws.zeros(shape, dtype)
     }
 
     /// A tensor filled with `value` (quantized if FP16).
@@ -75,11 +88,12 @@ impl Tensor {
         Tensor {
             shape,
             dtype,
-            data: vec![v; numel],
+            data: Arc::new(PoolBuf::from_vec(pool::take_filled(numel, v))),
         }
     }
 
-    /// Builds a tensor from existing data.
+    /// Builds a tensor from existing data. The buffer is adopted into the
+    /// pool's custody: it recycles when the last owner drops.
     ///
     /// # Panics
     /// Panics if `data.len() != shape.numel()`.
@@ -94,7 +108,19 @@ impl Tensor {
         if dtype == DType::F16 {
             quantize_f16_slice(&mut data);
         }
-        Tensor { shape, dtype, data }
+        Tensor {
+            shape,
+            dtype,
+            data: Arc::new(PoolBuf::from_vec(data)),
+        }
+    }
+
+    /// Builds a tensor around a buffer previously obtained from
+    /// [`crate::pool::take_zeroed`]/[`crate::pool::take_with_capacity`] —
+    /// the explicit "this storage came from the pool" constructor.
+    /// Semantically identical to [`Tensor::from_vec`].
+    pub fn from_pool(shape: impl Into<Shape>, dtype: DType, data: Vec<f32>) -> Tensor {
+        Tensor::from_vec(shape, dtype, data)
     }
 
     /// The tensor's shape.
@@ -124,39 +150,54 @@ impl Tensor {
     /// Read-only view of the data.
     #[inline]
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Mutable view of the data.
+    /// Mutable view of the data. If the buffer is shared (a clone or
+    /// reshape alias is alive), it is copied first — copy-on-write keeps
+    /// every tensor value-semantic.
     ///
     /// Callers writing to an FP16 tensor must re-quantize afterwards (see
     /// [`Tensor::requantize`]); the op kernels in [`crate::ops`] do this
     /// automatically.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
     }
 
-    /// Consumes the tensor, returning its backing buffer.
+    /// True if this tensor's buffer is shared with another tensor (a COW
+    /// alias created by `clone`, [`Tensor::reshape`], or a workspace
+    /// activation cache).
+    #[inline]
+    pub fn storage_shared(&self) -> bool {
+        Arc::strong_count(&self.data) > 1
+    }
+
+    /// Consumes the tensor, returning its backing buffer. Copies only if
+    /// the buffer is shared.
     #[inline]
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        match Arc::try_unwrap(self.data) {
+            Ok(buf) => buf.take_data(),
+            Err(shared) => pool::take_copy(shared.as_slice()),
+        }
     }
 
     /// Element access by multi-dimensional index.
     #[inline]
     pub fn at(&self, idx: &[usize]) -> f32 {
-        self.data[self.shape.offset(idx)]
+        self.as_slice()[self.shape.offset(idx)]
     }
 
     /// Element write by multi-dimensional index (quantized if FP16).
     #[inline]
     pub fn set(&mut self, idx: &[usize], value: f32) {
         let off = self.shape.offset(idx);
-        self.data[off] = match self.dtype {
+        let v = match self.dtype {
             DType::F32 => value,
             DType::F16 => quantize_f16(value),
         };
+        self.as_mut_slice()[off] = v;
     }
 
     /// Rounds every element through the tensor's storage precision.
@@ -164,7 +205,7 @@ impl Tensor {
     /// A no-op for FP32 tensors.
     pub fn requantize(&mut self) {
         if self.dtype == DType::F16 {
-            quantize_f16_slice(&mut self.data);
+            quantize_f16_slice(self.as_mut_slice());
         }
     }
 
@@ -181,10 +222,11 @@ impl Tensor {
             self.storage_bytes() as u64,
             (self.numel() * dtype.size_bytes()) as u64,
         );
-        Tensor::from_vec(self.shape.clone(), dtype, self.data.clone())
+        Tensor::from_vec(self.shape.clone(), dtype, pool::take_copy(self.as_slice()))
     }
 
-    /// Returns a copy with a new shape sharing the same element count.
+    /// Returns a view with a new shape sharing the same element count.
+    /// The buffer is shared copy-on-write, not copied.
     ///
     /// # Panics
     /// Panics if element counts differ.
@@ -205,37 +247,37 @@ impl Tensor {
 
     /// Sum of all elements (f32 accumulation).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.as_slice().iter().sum()
     }
 
     /// Mean of all elements.
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.numel() == 0 {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.numel() as f32
         }
     }
 
     /// Maximum absolute element, or 0 for an empty tensor.
     pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+        self.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()))
     }
 
     /// L2 norm of the flattened tensor.
     pub fn l2_norm(&self) -> f32 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        self.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
     }
 
     /// True if any element is non-finite (the FP16 overflow detector used by
     /// the weighted-loss stability study).
     pub fn has_non_finite(&self) -> bool {
-        self.data.iter().any(|x| !x.is_finite())
+        self.as_slice().iter().any(|x| !x.is_finite())
     }
 
     /// Fills with zeros in place.
     pub fn fill_zero(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.as_mut_slice().iter_mut().for_each(|x| *x = 0.0);
     }
 
     /// `self += other` elementwise (quantized if FP16).
@@ -244,7 +286,7 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice().iter()) {
             *a += *b;
         }
         self.requantize();
@@ -252,7 +294,7 @@ impl Tensor {
 
     /// `self *= scalar` elementwise (quantized if FP16).
     pub fn scale(&mut self, s: f32) {
-        for a in self.data.iter_mut() {
+        for a in self.as_mut_slice().iter_mut() {
             *a *= s;
         }
         self.requantize();
@@ -263,7 +305,7 @@ impl Tensor {
     /// after synchronous updates.
     pub fn bit_hash(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for x in &self.data {
+        for x in self.as_slice() {
             for b in x.to_bits().to_le_bytes() {
                 h ^= b as u64;
                 h = h.wrapping_mul(0x100_0000_01b3);
@@ -347,5 +389,50 @@ mod tests {
         assert_eq!(h.dtype(), DType::F16);
         let back = h.cast(DType::F32);
         assert_eq!(back.as_slice(), t.as_slice()); // all values f16-exact
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let a = Tensor::from_vec([4], DType::F32, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut b = a.clone();
+        assert!(a.storage_shared() && b.storage_shared(), "clone shares storage");
+        b.set(&[0], 9.0);
+        assert!(!a.storage_shared(), "mutation unshares");
+        assert_eq!(a.at(&[0]), 1.0, "original untouched by clone mutation");
+        assert_eq!(b.at(&[0]), 9.0);
+    }
+
+    #[test]
+    fn reshape_shares_until_written() {
+        let a = Tensor::from_vec([2, 2], DType::F32, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut r = a.reshape([4]);
+        assert!(a.storage_shared());
+        r.as_mut_slice()[3] = 0.0;
+        assert_eq!(a.at(&[1, 1]), 4.0);
+        assert_eq!(r.at(&[3]), 0.0);
+    }
+
+    #[test]
+    fn into_vec_copies_only_when_shared() {
+        let a = Tensor::from_vec([3], DType::F32, vec![1.0, 2.0, 3.0]);
+        let b = a.clone();
+        let v = a.into_vec(); // shared: copies
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0]);
+        let w = b.into_vec(); // unique: moves
+        assert_eq!(w, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropped_tensor_storage_returns_to_pool() {
+        crate::pool::set_enabled(true);
+        let t = Tensor::zeros([1, 3, 64, 64], DType::F32);
+        let before = crate::pool::stats();
+        drop(t);
+        let after = crate::pool::stats();
+        assert!(
+            after.recycled > before.recycled || after.dropped > before.dropped,
+            "drop must hand the buffer back to the pool"
+        );
     }
 }

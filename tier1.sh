@@ -4,9 +4,14 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
+cargo build --workspace --examples
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
 # Kernel results must be bit-identical at any pool width: rerun the
 # tensor and nn suites with a 4-thread default pool.
 EXACLIM_NUM_THREADS=4 cargo test -q -p exaclim-tensor -p exaclim-nn
+
+# ... and with the buffer-recycling pool disabled: pooling trades
+# allocator traffic, never numerics.
+EXACLIM_POOL=0 cargo test -q -p exaclim-tensor -p exaclim-nn
