@@ -25,6 +25,7 @@
 pub mod control;
 pub mod fusion;
 pub mod modelpar;
+mod overlap;
 pub mod trainer;
 
 pub use control::{ControlPlane, Coordinator};

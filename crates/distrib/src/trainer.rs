@@ -9,18 +9,20 @@
 
 use crate::control::{ControlPlane, Coordinator};
 use crate::fusion::fuse;
+use crate::overlap::{overlap_env_default, reduce_bucket, CommEngine, HookClearGuard, ReduceSettings};
 use exaclim_comm::{CommError, CommWorld, Communicator};
 use exaclim_faults::FaultPlan;
 use exaclim_nn::checkpoint;
 use exaclim_nn::loss::{Labels, WeightedCrossEntropy};
 use exaclim_nn::optim::{Adam, Lagged, LarcSgd, Optimizer, Sgd};
-use exaclim_nn::{Ctx, Layer, ParamSet};
+use exaclim_nn::{Ctx, Layer, Param, ParamSet};
 use exaclim_tensor::init::seeded_rng;
-use exaclim_tensor::profile::{self, KernelKind};
+use exaclim_tensor::profile::{self, SpanKind};
 use exaclim_tensor::{DType, Tensor};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One local batch: input `[N, C, H, W]`, labels, per-pixel loss weights.
@@ -127,6 +129,14 @@ pub struct TrainerConfig {
     /// heavily utilized main processors"). Halves wire bytes; replicas
     /// stay bitwise consistent because every rank quantizes identically.
     pub compress_gradients: bool,
+    /// Overlap gradient reduction with backward (§V-A3's "communication of
+    /// gradients ... can start as soon as they become available"): a
+    /// per-rank comm progress thread all-reduces fusion buckets as layer
+    /// backward paths mark their parameters ready, and the optimizer step
+    /// joins on the queue. Bit-identical to serial reduction — buckets are
+    /// assigned before the step from the canonical order. Defaults from
+    /// the `EXACLIM_OVERLAP` env var (`1`/`true`/`on`).
+    pub overlap_comm: bool,
 }
 
 impl TrainerConfig {
@@ -147,6 +157,7 @@ impl TrainerConfig {
             fusion_threshold_bytes: 1 << 20,
             shuffle_ready_order: true,
             compress_gradients: false,
+            overlap_comm: overlap_env_default(),
         }
     }
 }
@@ -180,6 +191,19 @@ pub struct TrainingReport {
     pub wire_bytes_per_step: u64,
     /// Non-finite loss detected (FP16 overflow diagnostics).
     pub diverged: bool,
+    /// Whether gradient reduction overlapped backward this run.
+    pub overlap_comm: bool,
+    /// Rank 0's post-step parameter hash for every step — the determinism
+    /// suite compares these bit-for-bit across modes.
+    pub step_hashes: Vec<u64>,
+    /// Mean seconds per step rank 0's critical path spent *waiting* on
+    /// gradient communication (the whole reduce loop when serial, the join
+    /// on the progress thread when overlapped).
+    pub exposed_comm_s_per_step: f64,
+    /// Mean seconds per step some thread of rank 0 spent packing /
+    /// all-reducing / scattering gradients, wherever it ran. The spread
+    /// between this and `exposed_comm_s_per_step` is what backward hid.
+    pub comm_busy_s_per_step: f64,
 }
 
 /// Runs synchronous data-parallel training. Returns the report and the
@@ -236,6 +260,7 @@ where
     let final_hashes: Vec<u64> = results.iter().map(|r| r.final_hash).collect();
     let consistent = final_hashes.windows(2).all(|w| w[0] == w[1])
         && results.iter().all(|r| r.per_step_hashes_consistent);
+    let per_step = |total: f64| if n_steps > 0 { total / n_steps as f64 } else { 0.0 };
     let report = TrainingReport {
         steps,
         consistent,
@@ -244,6 +269,10 @@ where
         allreduce_launches_per_step: results[0].allreduce_launches_per_step,
         wire_bytes_per_step: results[0].wire_bytes_per_step,
         diverged,
+        overlap_comm: cfg.overlap_comm,
+        step_hashes: std::mem::take(&mut results[0].step_hashes),
+        exposed_comm_s_per_step: per_step(results[0].exposed_comm_s),
+        comm_busy_s_per_step: per_step(results[0].comm_busy_s),
     };
     let model = results.swap_remove(0).model;
     (report, model)
@@ -256,12 +285,15 @@ struct RankResult {
     per_step_hashes_consistent: bool,
     allreduce_launches_per_step: usize,
     wire_bytes_per_step: u64,
+    step_hashes: Vec<u64>,
+    exposed_comm_s: f64,
+    comm_busy_s: f64,
     model: Box<dyn Layer>,
 }
 
 fn rank_main<B, MB>(
     rank: usize,
-    mut comm: Communicator,
+    comm: Communicator,
     cfg: TrainerConfig,
     model_builder: MB,
     mut source: B,
@@ -284,13 +316,58 @@ where
     let mut ctx = Ctx::train(cfg.seed ^ (rank as u64 + 1) << 17);
     let mut shuffle_rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xABCD ^ rank as u64);
 
+    // Tensor-id-indexed handles and step-invariant fusion buckets, fixed
+    // *before* any step runs from the canonical sorted order: bucket
+    // membership — and therefore summation order and parameter bits —
+    // cannot depend on readiness timing or on whether reduction overlaps
+    // backward.
+    let params_vec: Vec<Param> = params.iter().cloned().collect();
+    let canonical: Vec<u32> = (0..n_tensors as u32).collect();
+    let buckets = fuse(&canonical, &sizes, cfg.fusion_threshold_bytes);
+    let settings = ReduceSettings {
+        ranks: cfg.ranks,
+        node_size: cfg.node_size,
+        shard_leaders: cfg.shard_leaders,
+        compress: cfg.compress_gradients,
+    };
+    let mut engine = cfg
+        .overlap_comm
+        .then(|| CommEngine::new(rank, params_vec.clone(), buckets.clone(), settings.clone()));
+    let _hooks = engine.as_ref().map(|e| {
+        for (i, p) in params_vec.iter().enumerate() {
+            let t = e.tracker().clone();
+            p.set_ready_hook(Arc::new(move || t.notify(i)));
+        }
+        HookClearGuard(params_vec.clone())
+    });
+
+    let mut comm = Some(comm);
     let mut losses = Vec::with_capacity(cfg.steps);
     let mut wall_times = Vec::with_capacity(cfg.steps);
+    let mut step_hashes = Vec::with_capacity(cfg.steps);
     let mut hashes_ok = true;
-    let mut launches = 0usize;
+    let launches = buckets.len();
     let mut wire_bytes = 0u64;
+    let mut exposed_comm_s = 0.0f64;
+    let mut comm_busy_s = 0.0f64;
 
-    for _step in 0..cfg.steps {
+    // Agree on an all-reduce order despite per-rank scheduling skew. The
+    // coordination round proves agreement and liveness (and its message
+    // traffic is what the control-plane comparisons measure), but the
+    // *batch boundaries* it emits depend on message arrival timing.
+    // Execution uses the step-invariant canonical buckets above, so
+    // fusion replays identically across runs and modes.
+    let coordinate = |comm: &mut Communicator, rng: &mut rand::rngs::StdRng| {
+        let mut ready: Vec<u32> = (0..n_tensors as u32).collect();
+        if cfg.shuffle_ready_order {
+            ready.shuffle(rng);
+        }
+        let mut order = coordinator.coordinate(comm, &ready);
+        order.sort_unstable();
+        debug_assert_eq!(order, canonical, "coordination must cover every tensor");
+    };
+
+    for step in 0..cfg.steps {
         let t0 = Instant::now();
         let batch = source.next_batch();
         let input = if batch.input.dtype() == cfg.precision {
@@ -299,81 +376,74 @@ where
             batch.input.cast(cfg.precision)
         };
 
+        if let Some(engine) = engine.as_mut() {
+            // Overlap mode coordinates *before* forward so the progress
+            // thread can start the moment the first bucket is ready.
+            // Bit-neutral: the round uses fixed control tags and consumes
+            // `shuffle_rng` exactly once per step either way.
+            let c = comm.as_mut().expect("communicator on rank thread");
+            coordinate(c, &mut shuffle_rng);
+            engine.tracker().reset();
+            engine.begin_step(comm.take().expect("communicator on rank thread"), step);
+        }
+
+        let tf = Instant::now();
         let logits = model.forward(&input, &mut ctx);
+        profile::record_span(rank, step, SpanKind::Forward, tf, tf.elapsed().as_secs_f64());
         profile::set_phase(profile::Phase::Backward);
+        let tb = Instant::now();
         let out = loss_fn.forward(&logits, &batch.labels, &batch.weights);
+        // With the engine armed, ready hooks fire as layer backward paths
+        // finish and the progress thread reduces buckets concurrently.
         model.backward(&out.grad_logits);
+        profile::record_span(rank, step, SpanKind::Backward, tb, tb.elapsed().as_secs_f64());
         profile::set_phase(profile::Phase::Forward);
 
-        // Agree on an all-reduce order despite per-rank scheduling skew.
-        let mut ready: Vec<u32> = (0..n_tensors as u32).collect();
-        if cfg.shuffle_ready_order {
-            ready.shuffle(&mut shuffle_rng);
-        }
-        let mut order = coordinator.coordinate(&mut comm, &ready);
-        // The coordination round proves agreement and liveness (and its
-        // message traffic is what the control-plane comparisons measure),
-        // but the *batch boundaries* it emits depend on message arrival
-        // timing. Execution uses the canonical sorted order so fusion
-        // buckets — and therefore summation order and parameter bits —
-        // replay identically across runs.
-        order.sort_unstable();
-
-        // Fused gradient all-reduces in the agreed order.
-        let buckets = fuse(&order, &sizes, cfg.fusion_threshold_bytes);
-        launches = buckets.len();
-        let inv_n = 1.0 / cfg.ranks as f32;
-        wire_bytes = 0;
-        for bucket in &buckets {
-            let mut flat = exaclim_tensor::pool::take_with_capacity(bucket.elements);
-            for &id in &bucket.tensor_ids {
-                params
-                    .iter()
-                    .nth(id as usize)
-                    .expect("tensor id in range")
-                    .with(|_, g| flat.extend_from_slice(g.as_slice()));
+        if let Some(engine) = engine.as_mut() {
+            // Join the progress thread; time blocked here is the step's
+            // exposed communication.
+            let te = Instant::now();
+            let (c, wire, busy, result) = engine.finish_step();
+            let exposed = te.elapsed().as_secs_f64();
+            profile::record_span(rank, step, SpanKind::CommExposed, te, exposed);
+            comm = Some(c);
+            result.expect("overlapped gradient all-reduce failed");
+            wire_bytes = wire;
+            exposed_comm_s += exposed;
+            comm_busy_s += busy;
+        } else {
+            let c = comm.as_mut().expect("communicator on rank thread");
+            coordinate(c, &mut shuffle_rng);
+            // Fused gradient all-reduces, serial on the critical path.
+            let te = Instant::now();
+            wire_bytes = 0;
+            for bucket in &buckets {
+                wire_bytes += reduce_bucket(&params_vec, bucket, c, &settings, rank, step)
+                    .expect("gradient all-reduce failed");
             }
-            if cfg.compress_gradients {
-                // §VIII-B gradient compression: binary16 on the wire. All
-                // ranks quantize the same way, so determinism holds.
-                exaclim_tensor::half::quantize_f16_slice(&mut flat);
-                wire_bytes += flat.len() as u64 * 2;
-            } else {
-                wire_bytes += flat.len() as u64 * 4;
-            }
-            profile::record(
-                KernelKind::Allreduce,
-                "grad_allreduce",
-                flat.len() as u64,
-                flat.len() as u64 * 4,
-                flat.len() as u64 * 4,
-            );
-            comm.hierarchical_allreduce(&mut flat, cfg.node_size, cfg.shard_leaders);
-            let mut off = 0;
-            for &id in &bucket.tensor_ids {
-                let p = params.iter().nth(id as usize).expect("tensor id in range");
-                let n = p.numel();
-                let mut avg = exaclim_tensor::pool::take_with_capacity(n);
-                avg.extend(flat[off..off + n].iter().map(|&x| x * inv_n));
-                p.set_grad(Tensor::from_pool(p.grad().shape().clone(), DType::F32, avg));
-                off += n;
-            }
-            exaclim_tensor::pool::recycle(flat);
+            let exposed = te.elapsed().as_secs_f64();
+            profile::record_span(rank, step, SpanKind::CommExposed, te, exposed);
+            exposed_comm_s += exposed;
+            comm_busy_s += exposed;
         }
 
+        let c = comm.as_mut().expect("communicator on rank thread");
+        let topt = Instant::now();
         optimizer.step(&params);
+        profile::record_span(rank, step, SpanKind::Optimizer, topt, topt.elapsed().as_secs_f64());
 
         // Cross-rank loss mean (a tiny collective, as in real logging).
         let mut lbuf = vec![out.loss];
-        comm.allreduce_tree(&mut lbuf);
+        c.allreduce_tree(&mut lbuf);
         losses.push(lbuf[0] / cfg.ranks as f32);
 
         // Replica-consistency audit: all ranks must agree bit-for-bit.
         // The hash travels as four 16-bit limbs, each exact in f32.
         let h = params.state_hash();
+        step_hashes.push(h);
         let mut hbuf: Vec<f32> = (0..4).map(|i| ((h >> (16 * i)) & 0xffff) as f32).collect();
         let mine = hbuf.clone();
-        comm.broadcast(0, &mut hbuf);
+        c.broadcast(0, &mut hbuf);
         if hbuf != mine {
             hashes_ok = false;
         }
@@ -387,6 +457,9 @@ where
         per_step_hashes_consistent: hashes_ok,
         allreduce_launches_per_step: launches,
         wire_bytes_per_step: wire_bytes,
+        step_hashes,
+        exposed_comm_s,
+        comm_busy_s,
         model,
     }
 }
@@ -627,7 +700,7 @@ where
 fn rank_main_ft<B, MB>(
     idx: usize,
     original: usize,
-    mut comm: Communicator,
+    comm: Communicator,
     cfg: TrainerConfig,
     ft: &FtConfig,
     start_step: usize,
@@ -669,6 +742,30 @@ where
         }
     }
 
+    // Same step-invariant canonical buckets as the plain trainer — a
+    // checkpoint-restart replay must be bit-identical, so arrival timing
+    // (and the overlap mode switch) must not leak into the arithmetic.
+    let params_vec: Vec<Param> = params.iter().cloned().collect();
+    let canonical: Vec<u32> = (0..n_tensors as u32).collect();
+    let buckets = fuse(&canonical, &sizes, cfg.fusion_threshold_bytes);
+    let settings = ReduceSettings {
+        ranks: cfg.ranks,
+        node_size: cfg.node_size,
+        shard_leaders: cfg.shard_leaders,
+        compress: cfg.compress_gradients,
+    };
+    let mut engine = cfg
+        .overlap_comm
+        .then(|| CommEngine::new(idx, params_vec.clone(), buckets.clone(), settings.clone()));
+    let _hooks = engine.as_ref().map(|e| {
+        for (i, p) in params_vec.iter().enumerate() {
+            let t = e.tracker().clone();
+            p.set_ready_hook(Arc::new(move || t.notify(i)));
+        }
+        HookClearGuard(params_vec.clone())
+    });
+    let mut comm = Some(comm);
+
     let crash_at = faults.crash_step(original);
     let mut records: Vec<(usize, f32, f64)> = Vec::new();
     let mut saved: Vec<usize> = Vec::new();
@@ -699,66 +796,58 @@ where
             } else {
                 batch.input.cast(cfg.precision)
             };
+
+            let try_coordinate =
+                |comm: &mut Communicator, rng: &mut rand::rngs::StdRng| -> Result<(), CommError> {
+                    let mut ready: Vec<u32> = (0..n_tensors as u32).collect();
+                    if cfg.shuffle_ready_order {
+                        ready.shuffle(rng);
+                    }
+                    let mut order = coordinator.try_coordinate(comm, &ready)?;
+                    order.sort_unstable();
+                    debug_assert_eq!(order, canonical, "coordination must cover every tensor");
+                    Ok(())
+                };
+            if let Some(engine) = engine.as_mut() {
+                let c = comm.as_mut().expect("communicator on rank thread");
+                try_coordinate(c, &mut shuffle_rng)?;
+                engine.tracker().reset();
+                engine.begin_step(comm.take().expect("communicator on rank thread"), step);
+            }
+
             let logits = model.forward(&input, &mut ctx);
             profile::set_phase(profile::Phase::Backward);
             let out = loss_fn.forward(&logits, &batch.labels, &batch.weights);
             model.backward(&out.grad_logits);
             profile::set_phase(profile::Phase::Forward);
 
-            let mut ready: Vec<u32> = (0..n_tensors as u32).collect();
-            if cfg.shuffle_ready_order {
-                ready.shuffle(&mut shuffle_rng);
-            }
-            let mut order = coordinator.try_coordinate(&mut comm, &ready)?;
-            // Canonical execution order — see rank_main: checkpoint-restart
-            // replay must be bit-identical, so arrival timing must not
-            // leak into the arithmetic.
-            order.sort_unstable();
-
-            let buckets = fuse(&order, &sizes, cfg.fusion_threshold_bytes);
-            let inv_n = 1.0 / cfg.ranks as f32;
-            for bucket in &buckets {
-                let mut flat = exaclim_tensor::pool::take_with_capacity(bucket.elements);
-                for &id in &bucket.tensor_ids {
-                    params
-                        .iter()
-                        .nth(id as usize)
-                        .expect("tensor id in range")
-                        .with(|_, g| flat.extend_from_slice(g.as_slice()));
+            if let Some(engine) = engine.as_mut() {
+                // Join the progress thread. On a peer death the worker's
+                // collective fails with a typed CommError after draining
+                // its remaining bucket notifications, so the error comes
+                // back here — never a hang — and aborts the step cleanly.
+                let (c, _wire, _busy, result) = engine.finish_step();
+                comm = Some(c);
+                result?;
+            } else {
+                let c = comm.as_mut().expect("communicator on rank thread");
+                try_coordinate(c, &mut shuffle_rng)?;
+                for bucket in &buckets {
+                    reduce_bucket(&params_vec, bucket, c, &settings, idx, step)?;
                 }
-                if cfg.compress_gradients {
-                    exaclim_tensor::half::quantize_f16_slice(&mut flat);
-                }
-                profile::record(
-                    KernelKind::Allreduce,
-                    "grad_allreduce",
-                    flat.len() as u64,
-                    flat.len() as u64 * 4,
-                    flat.len() as u64 * 4,
-                );
-                comm.try_hierarchical_allreduce(&mut flat, cfg.node_size, cfg.shard_leaders)?;
-                let mut off = 0;
-                for &id in &bucket.tensor_ids {
-                    let p = params.iter().nth(id as usize).expect("tensor id in range");
-                    let n = p.numel();
-                    let mut avg = exaclim_tensor::pool::take_with_capacity(n);
-                    avg.extend(flat[off..off + n].iter().map(|&x| x * inv_n));
-                    p.set_grad(Tensor::from_pool(p.grad().shape().clone(), DType::F32, avg));
-                    off += n;
-                }
-                exaclim_tensor::pool::recycle(flat);
             }
 
             optimizer.step(&params);
 
+            let c = comm.as_mut().expect("communicator on rank thread");
             let mut lbuf = vec![out.loss];
-            comm.try_allreduce_tree(&mut lbuf)?;
+            c.try_allreduce_tree(&mut lbuf)?;
             let mean_loss = lbuf[0] / cfg.ranks as f32;
 
             let h = params.state_hash();
             let mut hbuf: Vec<f32> = (0..4).map(|i| ((h >> (16 * i)) & 0xffff) as f32).collect();
             let mine = hbuf.clone();
-            comm.try_broadcast(0, &mut hbuf)?;
+            c.try_broadcast(0, &mut hbuf)?;
             if hbuf != mine {
                 hashes_ok = false;
             }

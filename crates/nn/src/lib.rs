@@ -27,4 +27,4 @@ pub mod optim;
 pub mod param;
 
 pub use layer::{Ctx, Layer, Sequential};
-pub use param::{Param, ParamSet};
+pub use param::{ready_hooks_active, Param, ParamSet, ReadyHook};

@@ -11,12 +11,31 @@
 
 use exaclim_tensor::{DType, Tensor};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// A gradient-ready notification callback (see [`Param::set_ready_hook`]).
+pub type ReadyHook = Arc<dyn Fn() + Send + Sync>;
+
+/// Count of parameters that currently carry a ready hook. Lets the layer
+/// backward paths skip all notification work with one relaxed load when no
+/// overlap engine is listening.
+static ACTIVE_HOOKS: AtomicUsize = AtomicUsize::new(0);
+
+/// True if any parameter anywhere has a gradient-ready hook installed.
+#[inline]
+pub fn ready_hooks_active() -> bool {
+    ACTIVE_HOOKS.load(Ordering::Relaxed) > 0
+}
 
 struct ParamInner {
     name: String,
     value: Tensor,
     grad: Tensor,
+    /// Fired by the layer backward paths once this parameter's gradient
+    /// for the step is final — the signal the distributed runtime uses to
+    /// start all-reducing while backward is still running.
+    on_ready: Option<ReadyHook>,
 }
 
 /// A shared, named, trainable tensor with its gradient accumulator.
@@ -32,7 +51,35 @@ impl Param {
             name: name.into(),
             value,
             grad,
+            on_ready: None,
         })))
+    }
+
+    /// Installs a gradient-ready hook, replacing any existing one. The hook
+    /// fires (possibly more than once per step — listeners must dedup) when
+    /// a layer backward path declares this parameter's gradient final.
+    pub fn set_ready_hook(&self, hook: ReadyHook) {
+        let prev = self.0.write().on_ready.replace(hook);
+        if prev.is_none() {
+            ACTIVE_HOOKS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Removes the gradient-ready hook, if any.
+    pub fn clear_ready_hook(&self) {
+        if self.0.write().on_ready.take().is_some() {
+            ACTIVE_HOOKS.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fires the gradient-ready hook, if one is installed. Called by layer
+    /// backward paths after the last gradient contribution for this
+    /// parameter has been accumulated; the hook runs outside the lock.
+    pub fn notify_ready(&self) {
+        let hook = self.0.read().on_ready.clone();
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 
     /// The parameter's unique name (used to order all-reduce operations).
@@ -170,6 +217,25 @@ impl ParamSet {
         self.params.iter().find(|p| p.name() == name)
     }
 
+    /// Fires the gradient-ready hook of every parameter in the set. Layer
+    /// backward paths call this for the parameters of each sublayer as its
+    /// backward completes; a no-op (one atomic load) when nothing listens.
+    pub fn notify_all_ready(&self) {
+        if !ready_hooks_active() {
+            return;
+        }
+        for p in &self.params {
+            p.notify_ready();
+        }
+    }
+
+    /// Removes the gradient-ready hooks of every parameter in the set.
+    pub fn clear_ready_hooks(&self) {
+        for p in &self.params {
+            p.clear_ready_hook();
+        }
+    }
+
     /// Zeroes every gradient.
     pub fn zero_grads(&self) {
         for p in &self.params {
@@ -240,6 +306,46 @@ mod tests {
         let h0 = set.state_hash();
         set.get("b").unwrap().apply_update(|v, _| v[3] = 1.0);
         assert_ne!(h0, set.state_hash());
+    }
+
+    #[test]
+    fn ready_hooks_fire_and_clear() {
+        let p = Param::new("w", Tensor::zeros([2], DType::F32));
+        let q = p.clone();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        p.set_ready_hook(Arc::new(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(ready_hooks_active(), "installing a hook raises the flag");
+        // The shared handle fires the same hook.
+        q.notify_ready();
+        q.notify_ready();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        p.clear_ready_hook();
+        q.notify_ready();
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "cleared hook stays silent");
+    }
+
+    #[test]
+    fn paramset_notifies_every_member() {
+        let mut set = ParamSet::new();
+        set.push(Param::new("a", Tensor::zeros([1], DType::F32)));
+        set.push(Param::new("b", Tensor::zeros([1], DType::F32)));
+        let hits = Arc::new(AtomicUsize::new(0));
+        for p in set.iter() {
+            let h = hits.clone();
+            p.set_ready_hook(Arc::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        set.notify_all_ready();
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        set.clear_ready_hooks();
+        for p in set.iter() {
+            p.notify_ready();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "cleared hooks stay silent");
     }
 
     #[test]

@@ -15,13 +15,20 @@
 //!    census into an `exaclim-hpcsim` workload and sweeping node counts.
 //! 4. [`tts`] — end-to-end time-to-solution (§II's submission category;
 //!    §VII-C's "just over two hours" convergence runs).
+//! 5. [`timeline`] — the step-timeline overlap report: folds the trainer's
+//!    wall-clock phase spans into per-step exposed-communication time and
+//!    the fraction of all-reduce work hidden behind backward (§V-A3).
 
 pub mod census;
 pub mod report;
 pub mod scaling;
+pub mod timeline;
 pub mod tts;
 
 pub use census::{census_from_profile, census_from_spec, workload_from_spec};
 pub use report::{fig2_row, fig2_table, fig3_table, render_alloc_traffic, Fig2Row, Fig3Row};
 pub use scaling::{fig4_series, fig5_series, ScalingSeries};
+pub use timeline::{
+    mean_exposed_s, mean_overlap_fraction, render_step_timeline, step_timeline, StepOverlapRow,
+};
 pub use tts::{time_to_solution, TimeToSolution};

@@ -15,6 +15,7 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// What a kernel does, independent of when it runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -330,6 +331,101 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Profile) {
     let out = f();
     let prof = stop();
     (out, prof)
+}
+
+// ---------------------------------------------------------------------------
+// Step timeline: wall-clock phase spans for the overlap analysis.
+// ---------------------------------------------------------------------------
+
+/// What a training-step wall-clock span covers. Unlike [`Phase`] (which
+/// classifies *kernels*), span kinds mark the step's timeline so the
+/// overlap report can compute how much communication the backward pass
+/// hid: `CommBusy` is time a thread spent packing/all-reducing/scattering
+/// a gradient bucket, `CommExposed` is the slice of that which the rank's
+/// critical path actually waited on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Model forward pass.
+    Forward,
+    /// Loss + model backward pass.
+    Backward,
+    /// A gradient bucket being packed, all-reduced and scattered back
+    /// (wherever that work runs — rank thread or comm progress thread).
+    CommBusy,
+    /// Gradient-reduction time on the rank thread's critical path: the
+    /// whole reduce loop when communication is serial, or the join on the
+    /// comm progress thread when it is overlapped.
+    CommExposed,
+    /// Optimizer step.
+    Optimizer,
+}
+
+impl SpanKind {
+    /// Display label for timeline tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Forward => "forward",
+            SpanKind::Backward => "backward",
+            SpanKind::CommBusy => "comm-busy",
+            SpanKind::CommExposed => "comm-exposed",
+            SpanKind::Optimizer => "optimizer",
+        }
+    }
+}
+
+/// One wall-clock span on a rank's step timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanRecord {
+    /// The rank whose timeline this span belongs to.
+    pub rank: usize,
+    /// Training step index.
+    pub step: usize,
+    /// What the span covers.
+    pub kind: SpanKind,
+    /// Start time in seconds since [`timeline_start`].
+    pub start_s: f64,
+    /// Duration in seconds.
+    pub dur_s: f64,
+}
+
+static TIMELINE_ON: AtomicBool = AtomicBool::new(false);
+static TIMELINE: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+static TIMELINE_EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
+
+/// Begins timeline recording. Any previous un-collected spans are
+/// discarded. Independent of the kernel census ([`start`]/[`stop`]).
+pub fn timeline_start() {
+    TIMELINE.lock().clear();
+    *TIMELINE_EPOCH.lock() = Some(Instant::now());
+    TIMELINE_ON.store(true, Ordering::SeqCst);
+}
+
+/// True while a timeline is being recorded.
+#[inline]
+pub fn timeline_active() -> bool {
+    TIMELINE_ON.load(Ordering::Relaxed)
+}
+
+/// Stops timeline recording and returns the collected spans (in recording
+/// order per thread; sort by `start_s` for a global view).
+pub fn timeline_stop() -> Vec<SpanRecord> {
+    TIMELINE_ON.store(false, Ordering::SeqCst);
+    *TIMELINE_EPOCH.lock() = None;
+    std::mem::take(&mut TIMELINE.lock())
+}
+
+/// Records one span if a timeline is active. `started` is the span's
+/// starting instant (must be after [`timeline_start`]); `dur_s` its
+/// duration in seconds.
+pub fn record_span(rank: usize, step: usize, kind: SpanKind, started: Instant, dur_s: f64) {
+    if !timeline_active() {
+        return;
+    }
+    let start_s = match *TIMELINE_EPOCH.lock() {
+        Some(epoch) => started.checked_duration_since(epoch).map_or(0.0, |d| d.as_secs_f64()),
+        None => return, // stopped between the check and the lock
+    };
+    TIMELINE.lock().push(SpanRecord { rank, step, kind, start_s, dur_s });
 }
 
 /// Serializes tests that exercise the global census recorder (parallel

@@ -15,3 +15,14 @@ EXACLIM_NUM_THREADS=4 cargo test -q -p exaclim-tensor -p exaclim-nn
 # ... and with the buffer-recycling pool disabled: pooling trades
 # allocator traffic, never numerics.
 EXACLIM_POOL=0 cargo test -q -p exaclim-tensor -p exaclim-nn
+
+# Backward-overlapped gradient all-reduce is opt-in via EXACLIM_OVERLAP;
+# the distrib suites must hold bit-for-bit under both settings.
+EXACLIM_OVERLAP=0 cargo test -q -p exaclim-distrib
+EXACLIM_OVERLAP=1 cargo test -q -p exaclim-distrib
+EXACLIM_OVERLAP=1 cargo test -q -p exaclim-core --test overlap_determinism
+
+# The overlap microbenchmark asserts its own acceptance criteria
+# (exposed-comm strictly reduced, overlap fraction > 0, bit-identical
+# parameters) and writes BENCH_overlap.json.
+cargo run --release -q -p exaclim-bench --bin overlap_microbench -- --smoke
