@@ -30,10 +30,10 @@ fn allreduce_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("allreduce_4ranks");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
     let algos: [(&str, Collective); 4] = [
-        ("ring", |c, b| c.allreduce_ring(b)),
-        ("recursive_doubling", |c, b| c.allreduce_rhd(b)),
-        ("tree", |c, b| c.allreduce_tree(b)),
-        ("hierarchical_2x2", |c, b| c.hierarchical_allreduce(b, 2, 1)),
+        ("ring", |c, b| c.try_allreduce_ring(b).expect("ring")),
+        ("recursive_doubling", |c, b| c.try_allreduce_rhd(b).expect("rhd")),
+        ("tree", |c, b| c.try_allreduce_tree(b).expect("tree")),
+        ("hierarchical_2x2", |c, b| c.try_hierarchical_allreduce(b, 2, 1).expect("hier")),
     ];
     for &elems in &[1024usize, 65536] {
         for (name, f) in algos {
@@ -61,7 +61,8 @@ fn hybrid_shard_leaders(c: &mut Criterion) {
                     .map(|mut comm| {
                         std::thread::spawn(move || {
                             let mut buf = vec![1.0f32; 16384];
-                            comm.hierarchical_allreduce(&mut buf, 4, leaders);
+                            comm.try_hierarchical_allreduce(&mut buf, 4, leaders)
+                                .expect("hierarchical all-reduce");
                         })
                     })
                     .collect();

@@ -1,0 +1,204 @@
+//! Generation-keyed world reconstruction for elastic training.
+//!
+//! When membership changes — a rank leaves, a joiner is admitted, a
+//! crash shrinks the world — the surviving and joining ranks must all
+//! switch to a *fresh* fully-wired [`Communicator`] set atomically. The
+//! [`Rendezvous`] is the meeting point: the first member to arrive for a
+//! generation builds the endpoints with [`CommWorld::with_deadline`],
+//! every member claims the endpoint at its position in the (sorted)
+//! member list, and nobody proceeds until all members have claimed —
+//! so a collective can never start against a half-assembled world. A
+//! member that never shows up turns the wait into a typed
+//! [`CommError::RendezvousFailed`] instead of a hang.
+//!
+//! Generations are identified by a caller-assigned monotonically
+//! increasing number; the rendezvous itself is policy-free (it does not
+//! decide *who* the members are, only wires whoever was agreed on).
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::CommError;
+use crate::world::{CommWorld, Communicator};
+
+/// One generation's endpoints, built on first arrival.
+struct RvWorld {
+    members: Vec<usize>,
+    endpoints: Vec<Option<Communicator>>,
+    claimed: usize,
+}
+
+/// Meeting point where the members of a new generation assemble their
+/// communicator set. Shared (via `Arc`) by every rank thread that can
+/// ever join a world.
+#[derive(Default)]
+pub struct Rendezvous {
+    state: Mutex<HashMap<u64, RvWorld>>,
+    cv: Condvar,
+}
+
+impl Rendezvous {
+    /// Creates an empty rendezvous.
+    pub fn new() -> Rendezvous {
+        Rendezvous::default()
+    }
+
+    /// Assembles the communicator for `generation` and returns this
+    /// member's endpoint once **all** members have arrived.
+    ///
+    /// `members` must be sorted, duplicate-free, identical across all
+    /// callers for the same generation, and contain `me`. The returned
+    /// communicator's rank is `me`'s index in `members`; its receive
+    /// deadline is `deadline`, which also bounds how long this call
+    /// waits for stragglers before giving up with
+    /// [`CommError::RendezvousFailed`].
+    pub fn join(
+        &self,
+        generation: u64,
+        members: &[usize],
+        me: usize,
+        deadline: Duration,
+    ) -> Result<Communicator, CommError> {
+        assert!(!members.is_empty(), "a generation needs at least one member");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "members must be sorted and duplicate-free"
+        );
+        let idx = members
+            .iter()
+            .position(|&m| m == me)
+            .expect("joining member must appear in the member list");
+
+        let mut worlds = self.state.lock().unwrap();
+        let world = worlds.entry(generation).or_insert_with(|| {
+            let endpoints = CommWorld::with_deadline(members.len(), deadline);
+            RvWorld {
+                members: members.to_vec(),
+                endpoints: endpoints.into_iter().map(Some).collect(),
+                claimed: 0,
+            }
+        });
+        assert_eq!(
+            world.members, members,
+            "generation {generation}: members disagree across joiners"
+        );
+        let comm = world.endpoints[idx]
+            .take()
+            .unwrap_or_else(|| panic!("member {me} claimed generation {generation} twice"));
+        world.claimed += 1;
+        self.cv.notify_all();
+
+        let begin = Instant::now();
+        loop {
+            let world = worlds.get(&generation).expect("world exists while members wait");
+            if world.claimed == world.members.len() {
+                return Ok(comm);
+            }
+            let remaining = deadline.saturating_sub(begin.elapsed());
+            if remaining.is_zero() {
+                return Err(CommError::RendezvousFailed {
+                    member: me,
+                    generation,
+                    arrived: world.claimed,
+                    expected: world.members.len(),
+                });
+            }
+            worlds = self.cv.wait_timeout(worlds, remaining).unwrap().0;
+        }
+    }
+
+    /// Drops the bookkeeping for generations older than `generation`,
+    /// so a long-lived elastic run does not accumulate one entry per
+    /// membership change forever. Safe to call once a generation is
+    /// fully assembled (claimed endpoints are owned by the members).
+    pub fn forget_before(&self, generation: u64) {
+        let mut worlds = self.state.lock().unwrap();
+        worlds.retain(|&g, w| g >= generation || w.claimed < w.members.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    const DL: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn all_members_get_connected_endpoints() {
+        let rv = Arc::new(Rendezvous::new());
+        let members = vec![2usize, 5, 9];
+        let handles: Vec<_> = members
+            .iter()
+            .map(|&m| {
+                let rv = rv.clone();
+                let members = members.clone();
+                thread::spawn(move || {
+                    let mut c = rv.join(1, &members, m, DL).expect("rendezvous");
+                    // Smoke-test connectivity with a broadcast from rank 0.
+                    let mut buf = if c.rank() == 0 { vec![m as f32] } else { vec![] };
+                    c.try_broadcast(0, &mut buf).expect("broadcast");
+                    (m, c.rank(), c.size(), buf[0])
+                })
+            })
+            .collect();
+        for h in handles {
+            let (m, rank, size, v) = h.join().expect("member thread");
+            assert_eq!(size, 3);
+            assert_eq!(rank, [2, 5, 9].iter().position(|&x| x == m).unwrap());
+            assert_eq!(v, 2.0, "broadcast value from member 2 (rank 0)");
+        }
+    }
+
+    #[test]
+    fn missing_member_fails_the_rendezvous_with_a_typed_error() {
+        let rv = Rendezvous::new();
+        // Member 1 never arrives: the wait must end in RendezvousFailed,
+        // not a hang.
+        let err = match rv.join(3, &[0, 1], 0, Duration::from_millis(100)) {
+            Ok(_) => panic!("rendezvous must not complete without member 1"),
+            Err(e) => e,
+        };
+        match err.clone() {
+            CommError::RendezvousFailed { member, generation, arrived, expected } => {
+                assert_eq!((member, generation, arrived, expected), (0, 3, 1, 2));
+            }
+            other => panic!("expected RendezvousFailed, got {other}"),
+        }
+        assert!(err.is_peer_failure());
+    }
+
+    #[test]
+    fn generations_are_independent_worlds() {
+        let rv = Arc::new(Rendezvous::new());
+        for generation in [7u64, 8] {
+            let handles: Vec<_> = (0..2)
+                .map(|m| {
+                    let rv = rv.clone();
+                    thread::spawn(move || {
+                        let mut c = rv.join(generation, &[0, 1], m, DL).expect("rendezvous");
+                        let mut buf = vec![(generation as f32) + m as f32];
+                        c.try_allreduce_ring(&mut buf).expect("allreduce");
+                        buf[0]
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 2.0 * generation as f32 + 1.0);
+            }
+            rv.forget_before(generation + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed generation")]
+    fn double_claim_is_a_protocol_bug() {
+        let rv = Rendezvous::new();
+        // Solo world assembles instantly...
+        let _c = rv.join(4, &[0], 0, DL).expect("solo rendezvous");
+        // ...but the same member may not claim the generation again.
+        let _ = rv.join(4, &[0], 0, DL);
+    }
+}

@@ -3,9 +3,9 @@
 //! Every blocking receive in this crate carries a deadline, and every
 //! failure mode is a variant here instead of a panic or an indefinite
 //! hang: a fault-tolerant caller (the staging retry loop, the
-//! checkpoint-restart trainer) matches on the variant, while legacy
-//! callers use the panicking wrappers which format these errors into
-//! their messages.
+//! checkpoint-restart trainer, the elastic membership layer) matches on
+//! the variant and decides whether to retry, reconfigure the world, or
+//! abort with the formatted diagnosis.
 
 use std::error::Error;
 use std::fmt;
@@ -71,6 +71,19 @@ pub enum CommError {
         /// The unreachable destination.
         dst: usize,
     },
+    /// A world rebuild did not complete: not every member of the proposed
+    /// generation claimed its endpoint before the deadline, so the new
+    /// communicator set never became whole.
+    RendezvousFailed {
+        /// The member that gave up waiting.
+        member: usize,
+        /// The generation that failed to assemble.
+        generation: u64,
+        /// Members that had claimed endpoints when the deadline expired.
+        arrived: usize,
+        /// Members the generation needed.
+        expected: usize,
+    },
 }
 
 impl CommError {
@@ -83,15 +96,20 @@ impl CommError {
             | CommError::TypeMismatch { src, .. }
             | CommError::TagMismatch { src, .. } => Some(src),
             CommError::SendFailed { dst, .. } => Some(dst),
+            // No single peer: some unknown subset of members never arrived.
+            CommError::RendezvousFailed { .. } => None,
         }
     }
 
-    /// True for the two variants that indicate a dead or unreachable
-    /// peer (rather than a protocol bug on a live one).
+    /// True for the variants that indicate a dead or unreachable peer
+    /// (rather than a protocol bug on a live one).
     pub fn is_peer_failure(&self) -> bool {
         matches!(
             self,
-            CommError::PeerDead { .. } | CommError::SendFailed { .. } | CommError::Timeout { .. }
+            CommError::PeerDead { .. }
+                | CommError::SendFailed { .. }
+                | CommError::Timeout { .. }
+                | CommError::RendezvousFailed { .. }
         )
     }
 }
@@ -117,6 +135,11 @@ impl fmt::Display for CommError {
             CommError::SendFailed { rank, dst } => {
                 write!(f, "rank {rank} could not send to rank {dst} (communicator dropped)")
             }
+            CommError::RendezvousFailed { member, generation, arrived, expected } => write!(
+                f,
+                "member {member} abandoned rendezvous for generation {generation}: \
+                 {arrived}/{expected} members arrived before the deadline"
+            ),
         }
     }
 }
@@ -148,5 +171,15 @@ mod tests {
         let e = CommError::TagMismatch { rank: 0, src: 1, expected: 2, got: 3 };
         assert!(!e.is_peer_failure());
         assert_eq!(e.peer(), Some(1));
+    }
+
+    #[test]
+    fn rendezvous_failure_is_a_peer_failure_without_a_single_peer() {
+        let e = CommError::RendezvousFailed { member: 2, generation: 7, arrived: 3, expected: 4 };
+        assert!(e.is_peer_failure());
+        assert_eq!(e.peer(), None);
+        let s = e.to_string();
+        assert!(s.contains("generation 7"), "{s}");
+        assert!(s.contains("3/4"), "{s}");
     }
 }

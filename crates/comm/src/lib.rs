@@ -5,14 +5,17 @@
 //!
 //! * [`CommWorld::new`] builds `n` connected [`Communicator`]s (one per
 //!   rank thread) with FIFO point-to-point channels.
-//! * Collectives: [`Communicator::allreduce_ring`] (NCCL's systolic ring),
-//!   [`Communicator::allreduce_rhd`] (recursive halving/doubling, the
-//!   classic MPI tree-style algorithm), [`Communicator::allreduce_tree`]
-//!   (binomial reduce + broadcast), and
-//!   [`Communicator::hierarchical_allreduce`] — the paper's hybrid (§V-A3):
-//!   NCCL-style ring *within* a node, then a subset of local ranks (4 on
-//!   Summit, matching its 4 virtual IB devices) each all-reducing a shard
-//!   of the buffer *across* nodes, then an intra-node broadcast of shards.
+//! * Collectives: [`Communicator::try_allreduce_ring`] (NCCL's systolic
+//!   ring), [`Communicator::try_allreduce_rhd`] (recursive
+//!   halving/doubling, the classic MPI tree-style algorithm),
+//!   [`Communicator::try_allreduce_tree`] (binomial reduce + broadcast),
+//!   and [`Communicator::try_hierarchical_allreduce`] — the paper's
+//!   hybrid (§V-A3): NCCL-style ring *within* a node, then a subset of
+//!   local ranks (4 on Summit, matching its 4 virtual IB devices) each
+//!   all-reducing a shard of the buffer *across* nodes, then an
+//!   intra-node broadcast of shards.
+//! * [`Rendezvous`] rebuilds the world for a new membership generation
+//!   when ranks join or leave (elastic training).
 //!
 //! Every collective is **deterministic and replica-consistent**: all ranks
 //! finish with bitwise-identical buffers, the property that keeps
@@ -24,14 +27,17 @@
 //! Every blocking receive carries a deadline (default 30 s, or the
 //! `EXACLIM_RECV_DEADLINE_MS` environment variable), and every failure
 //! mode — timeout, dead peer, payload-type mismatch, protocol-tag
-//! mismatch — is a typed [`CommError`]. The classic API panics with the
-//! formatted diagnosis; `try_*` variants return the error so the
-//! fault-tolerant layers (staging retry, checkpoint-restart training)
-//! can detect a lost rank and recover instead of hanging.
+//! mismatch, incomplete world rendezvous — is a typed [`CommError`].
+//! The API is uniformly fallible (`try_*`): callers that cannot recover
+//! `.expect` the result and die with the formatted edge diagnosis,
+//! while the fault-tolerant layers (staging retry, checkpoint-restart
+//! training, elastic membership) match on the variant and survive.
 
+pub mod elastic;
 pub mod error;
 pub mod world;
 
+pub use elastic::Rendezvous;
 pub use error::CommError;
 pub use world::{CommStats, CommWorld, Communicator, DEFAULT_RECV_DEADLINE};
 
@@ -69,7 +75,7 @@ mod tests {
     fn ring_allreduce_sums_everywhere() {
         for n in [1, 2, 3, 4, 7] {
             let results = run_world(n, |c, mut buf| {
-                c.allreduce_ring(&mut buf);
+                c.try_allreduce_ring(&mut buf).expect("allreduce");
                 buf
             });
             let want = expected_sum(n);
@@ -83,7 +89,7 @@ mod tests {
     fn rhd_allreduce_sums_everywhere() {
         for n in [1, 2, 4, 8, 6, 5] {
             let results = run_world(n, |c, mut buf| {
-                c.allreduce_rhd(&mut buf);
+                c.try_allreduce_rhd(&mut buf).expect("allreduce");
                 buf
             });
             let want = expected_sum(n);
@@ -97,7 +103,7 @@ mod tests {
     fn tree_allreduce_sums_everywhere() {
         for n in [1, 2, 3, 5, 8] {
             let results = run_world(n, |c, mut buf| {
-                c.allreduce_tree(&mut buf);
+                c.try_allreduce_tree(&mut buf).expect("allreduce");
                 buf
             });
             let want = expected_sum(n);
@@ -112,7 +118,7 @@ mod tests {
         // 2 "nodes" × 3 "GPUs", 2 shard leaders per node (Summit: 4).
         for (n, node, leaders) in [(6, 3, 2), (8, 4, 4), (4, 2, 1), (6, 2, 2)] {
             let results = run_world(n, move |c, mut buf| {
-                c.hierarchical_allreduce(&mut buf, node, leaders);
+                c.try_hierarchical_allreduce(&mut buf, node, leaders).expect("allreduce");
                 buf
             });
             let want = expected_sum(n);
@@ -129,7 +135,7 @@ mod tests {
                 if c.rank() != root {
                     buf = vec![0.0; 8];
                 }
-                c.broadcast(root, &mut buf);
+                c.try_broadcast(root, &mut buf).expect("broadcast");
                 buf
             });
             let want: Vec<f32> = (0..8).map(|i| (root * 8 + i) as f32).collect();
@@ -147,7 +153,7 @@ mod tests {
             let mut buf: Vec<f32> = (0..16)
                 .map(|i| ((c.rank() + 1) as f32 * 0.1 + i as f32 * 1e-7).powi(3))
                 .collect();
-            c.allreduce_ring(&mut buf);
+            c.try_allreduce_ring(&mut buf).expect("allreduce");
             buf
         });
         for r in &results[1..] {
@@ -161,12 +167,12 @@ mod tests {
     #[test]
     fn sequential_collectives_do_not_cross_talk() {
         let results = run_world(3, |c, mut buf| {
-            c.allreduce_ring(&mut buf);
+            c.try_allreduce_ring(&mut buf).expect("allreduce");
             let mut second = vec![c.rank() as f32; 4];
-            c.allreduce_tree(&mut second);
+            c.try_allreduce_tree(&mut second).expect("allreduce");
             c.barrier();
             let mut third = vec![1.0f32; 2];
-            c.allreduce_rhd(&mut third);
+            c.try_allreduce_rhd(&mut third).expect("allreduce");
             buf.extend(second);
             buf.extend(third);
             buf
@@ -188,7 +194,7 @@ mod tests {
             .map(|mut c| {
                 thread::spawn(move || {
                     let mut buf = vec![1.0f32; 4];
-                    c.allreduce_ring(&mut buf);
+                    c.try_allreduce_ring(&mut buf).expect("allreduce");
                 })
             })
             .collect();
@@ -207,10 +213,10 @@ mod tests {
         for n in [1, 2, 3, 5] {
             let results = run_world(n, |c, buf| {
                 let mut a = buf.clone();
-                c.allreduce_ring(&mut a);
+                c.try_allreduce_ring(&mut a).expect("allreduce");
                 let mut b = buf.clone();
-                let (idx, chunk) = c.reduce_scatter_ring(&mut b);
-                let gathered = c.allgather_ring(idx, &chunk, b.len());
+                let (idx, chunk) = c.try_reduce_scatter_ring(&mut b).expect("reduce-scatter");
+                let gathered = c.try_allgather_ring(idx, &chunk, b.len()).expect("all-gather");
                 assert_eq!(
                     gathered.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                     a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
@@ -266,7 +272,7 @@ mod tests {
         let mut it = comms.into_iter();
         let mut c0 = it.next().expect("rank 0");
         let mut c1 = it.next().expect("rank 1");
-        c1.send_f32(0, 3, vec![9.0]);
+        c1.try_send_f32(0, 3, vec![9.0]).expect("send");
         drop(c1);
         // The in-flight message survives the sender's death…
         assert_eq!(c0.try_recv_f32(1, 3), Ok(vec![9.0]));
@@ -280,12 +286,12 @@ mod tests {
         let mut it = comms.into_iter();
         let mut c0 = it.next().expect("rank 0");
         let mut c1 = it.next().expect("rank 1");
-        c1.send_bytes(0, 5, vec![1, 2, 3]);
+        c1.try_send_bytes(0, 5, vec![1, 2, 3]).expect("send");
         match c0.try_recv_f32(1, 5) {
             Err(CommError::TypeMismatch { rank: 0, src: 1, tag: 5, expected: "f32", got: "bytes" }) => {}
             other => panic!("expected TypeMismatch, got {other:?}"),
         }
-        c1.send_f32(0, 6, vec![1.0]);
+        c1.try_send_f32(0, 6, vec![1.0]).expect("send");
         assert!(matches!(
             c0.try_recv_bytes(1, 6),
             Err(CommError::TypeMismatch { expected: "bytes", got: "f32", .. })
@@ -298,7 +304,7 @@ mod tests {
         let mut it = comms.into_iter();
         let mut c0 = it.next().expect("rank 0");
         let mut c1 = it.next().expect("rank 1");
-        c1.send_f32(0, 10, vec![1.0]);
+        c1.try_send_f32(0, 10, vec![1.0]).expect("send");
         assert!(matches!(
             c0.try_recv_f32(1, 11),
             Err(CommError::TagMismatch { expected: 11, got: 10, .. })
@@ -335,12 +341,12 @@ mod tests {
         let mut c0 = it.next().expect("rank 0");
         let mut c1 = it.next().expect("rank 1");
         let t0 = thread::spawn(move || {
-            c0.send_f32(1, 7, vec![1.0, 2.0]);
-            c0.recv_f32(1, 8)
+            c0.try_send_f32(1, 7, vec![1.0, 2.0]).expect("send");
+            c0.try_recv_f32(1, 8).expect("recv")
         });
         let t1 = thread::spawn(move || {
-            let got = c1.recv_f32(0, 7);
-            c1.send_f32(0, 8, vec![got[0] * 10.0, got[1] * 10.0]);
+            let got = c1.try_recv_f32(0, 7).expect("recv");
+            c1.try_send_f32(0, 8, vec![got[0] * 10.0, got[1] * 10.0]).expect("send");
             got
         });
         assert_eq!(t0.join().expect("t0"), vec![10.0, 20.0]);

@@ -4,9 +4,9 @@
 //! Every blocking receive carries a deadline (default 30 s, or
 //! `EXACLIM_RECV_DEADLINE_MS`), so a lost peer turns a would-be hang
 //! into a typed [`CommError`] naming who waited on whom for which tag.
-//! The original infallible API (`recv_f32`, `allreduce_ring`, …) remains
-//! as thin wrappers that panic with that diagnosis; fault-tolerant
-//! callers use the `try_*` variants and recover.
+//! The whole API is fallible (`try_*`): every caller decides whether a
+//! dead peer means "crash with the diagnosis" (`.expect`) or "survive
+//! and reconfigure the world" (the fault-tolerant and elastic trainers).
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::VecDeque;
@@ -249,25 +249,13 @@ impl Communicator {
     }
 
     /// Sends a tensor buffer to `dst`.
-    pub fn send_f32(&mut self, dst: usize, tag: u64, data: Vec<f32>) {
-        self.try_send_f32(dst, tag, data)
-            .unwrap_or_else(|e| panic!("send_f32: {e}"));
-    }
-
-    /// Fallible [`Communicator::send_f32`].
     pub fn try_send_f32(&mut self, dst: usize, tag: u64, data: Vec<f32>) -> Result<(), CommError> {
         self.try_send_msg(dst, tag, Payload::F32(data))
     }
 
     /// Receives a tensor buffer from `src` (FIFO per peer; tags are
-    /// protocol assertions).
-    pub fn recv_f32(&mut self, src: usize, tag: u64) -> Vec<f32> {
-        self.try_recv_f32(src, tag)
-            .unwrap_or_else(|e| panic!("recv_f32: {e}"))
-    }
-
-    /// Fallible [`Communicator::recv_f32`]: a dead peer or an expired
-    /// deadline comes back as a [`CommError`] instead of a hang or panic.
+    /// protocol assertions): a dead peer or an expired deadline comes
+    /// back as a [`CommError`] instead of a hang.
     pub fn try_recv_f32(&mut self, src: usize, tag: u64) -> Result<Vec<f32>, CommError> {
         match self.try_recv_msg(src, tag)? {
             Payload::F32(v) => Ok(v),
@@ -282,23 +270,11 @@ impl Communicator {
     }
 
     /// Sends control bytes to `dst`.
-    pub fn send_bytes(&mut self, dst: usize, tag: u64, data: Vec<u8>) {
-        self.try_send_bytes(dst, tag, data)
-            .unwrap_or_else(|e| panic!("send_bytes: {e}"));
-    }
-
-    /// Fallible [`Communicator::send_bytes`].
     pub fn try_send_bytes(&mut self, dst: usize, tag: u64, data: Vec<u8>) -> Result<(), CommError> {
         self.try_send_msg(dst, tag, Payload::Bytes(data))
     }
 
     /// Receives control bytes from `src`.
-    pub fn recv_bytes(&mut self, src: usize, tag: u64) -> Vec<u8> {
-        self.try_recv_bytes(src, tag)
-            .unwrap_or_else(|e| panic!("recv_bytes: {e}"))
-    }
-
-    /// Fallible [`Communicator::recv_bytes`].
     pub fn try_recv_bytes(&mut self, src: usize, tag: u64) -> Result<Vec<u8>, CommError> {
         match self.try_recv_msg(src, tag)? {
             Payload::Bytes(b) => Ok(b),
@@ -356,26 +332,40 @@ impl Communicator {
     }
 
     /// Binomial-tree broadcast from `root` (in place).
-    pub fn broadcast(&mut self, root: usize, buf: &mut Vec<f32>) {
-        self.try_broadcast(root, buf)
-            .unwrap_or_else(|e| panic!("broadcast: {e}"));
-    }
-
-    /// Fallible [`Communicator::broadcast`].
     pub fn try_broadcast(&mut self, root: usize, buf: &mut Vec<f32>) -> Result<(), CommError> {
         let tag = self.next_tag();
         let group: Vec<usize> = (0..self.size).collect();
         self.broadcast_group(&group, root, buf, tag)
     }
 
-    /// Ring all-reduce (sum) over all ranks — NCCL's systolic algorithm:
-    /// a reduce-scatter pass followed by an all-gather pass, 2·(n−1) steps.
-    pub fn allreduce_ring(&mut self, buf: &mut [f32]) {
-        self.try_allreduce_ring(buf)
-            .unwrap_or_else(|e| panic!("allreduce_ring: {e}"));
+    /// Binomial-tree broadcast of a control-plane byte buffer from
+    /// `root` (in place) — the elastic layer uses this to ship world
+    /// views, serialized optimizer state, and other non-tensor payloads
+    /// to joining ranks.
+    pub fn try_broadcast_bytes(&mut self, root: usize, buf: &mut Vec<u8>) -> Result<(), CommError> {
+        let tag = self.next_tag();
+        let g = self.size;
+        if g == 1 {
+            return Ok(());
+        }
+        assert!(root < g, "broadcast root out of range");
+        let me = (self.rank + g - root) % g; // relative position
+        if me != 0 {
+            let parent = (me - 1) / 2;
+            let src = (parent + root) % g;
+            *buf = self.try_recv_bytes(src, tag)?;
+        }
+        for child in [2 * me + 1, 2 * me + 2] {
+            if child < g {
+                let dst = (child + root) % g;
+                self.try_send_bytes(dst, tag, buf.clone())?;
+            }
+        }
+        Ok(())
     }
 
-    /// Fallible [`Communicator::allreduce_ring`].
+    /// Ring all-reduce (sum) over all ranks — NCCL's systolic algorithm:
+    /// a reduce-scatter pass followed by an all-gather pass, 2·(n−1) steps.
     pub fn try_allreduce_ring(&mut self, buf: &mut [f32]) -> Result<(), CommError> {
         let tag = self.next_tag();
         let group: Vec<usize> = (0..self.size).collect();
@@ -385,12 +375,6 @@ impl Communicator {
     /// Recursive-doubling all-reduce (sum) — the tree-structured exchange
     /// pattern MPI implementations favour at scale. Non-power-of-two world
     /// sizes fold the excess ranks into partners first.
-    pub fn allreduce_rhd(&mut self, buf: &mut [f32]) {
-        self.try_allreduce_rhd(buf)
-            .unwrap_or_else(|e| panic!("allreduce_rhd: {e}"));
-    }
-
-    /// Fallible [`Communicator::allreduce_rhd`].
     pub fn try_allreduce_rhd(&mut self, buf: &mut [f32]) -> Result<(), CommError> {
         let tag = self.next_tag();
         let group: Vec<usize> = (0..self.size).collect();
@@ -401,12 +385,6 @@ impl Communicator {
     /// reduced chunk `(rank+1) % size` of the logical buffer (the first
     /// half of the NCCL ring all-reduce; the building block ZeRO-style
     /// sharded optimizers use). Returns `(chunk_index, chunk)`.
-    pub fn reduce_scatter_ring(&mut self, buf: &mut [f32]) -> (usize, Vec<f32>) {
-        self.try_reduce_scatter_ring(buf)
-            .unwrap_or_else(|e| panic!("reduce_scatter_ring: {e}"))
-    }
-
-    /// Fallible [`Communicator::reduce_scatter_ring`].
     pub fn try_reduce_scatter_ring(&mut self, buf: &mut [f32]) -> Result<(usize, Vec<f32>), CommError> {
         let tag = self.next_tag();
         let group: Vec<usize> = (0..self.size).collect();
@@ -437,14 +415,8 @@ impl Communicator {
     }
 
     /// Ring all-gather of per-rank chunks produced by
-    /// [`Communicator::reduce_scatter_ring`]: every rank ends with the
-    /// concatenation of all chunks in chunk-index order.
-    pub fn allgather_ring(&mut self, chunk_index: usize, chunk: &[f32], total_len: usize) -> Vec<f32> {
-        self.try_allgather_ring(chunk_index, chunk, total_len)
-            .unwrap_or_else(|e| panic!("allgather_ring: {e}"))
-    }
-
-    /// Fallible [`Communicator::allgather_ring`].
+    /// [`Communicator::try_reduce_scatter_ring`]: every rank ends with
+    /// the concatenation of all chunks in chunk-index order.
     pub fn try_allgather_ring(
         &mut self,
         chunk_index: usize,
@@ -476,12 +448,6 @@ impl Communicator {
     }
 
     /// Binomial reduce-to-root + broadcast all-reduce.
-    pub fn allreduce_tree(&mut self, buf: &mut Vec<f32>) {
-        self.try_allreduce_tree(buf)
-            .unwrap_or_else(|e| panic!("allreduce_tree: {e}"));
-    }
-
-    /// Fallible [`Communicator::allreduce_tree`].
     pub fn try_allreduce_tree(&mut self, buf: &mut Vec<f32>) -> Result<(), CommError> {
         let tag = self.next_tag();
         let group: Vec<usize> = (0..self.size).collect();
@@ -501,12 +467,6 @@ impl Communicator {
     /// # Panics
     /// Panics unless `node_size` divides the world size and
     /// `1 ≤ shard_leaders ≤ node_size`.
-    pub fn hierarchical_allreduce(&mut self, buf: &mut [f32], node_size: usize, shard_leaders: usize) {
-        self.try_hierarchical_allreduce(buf, node_size, shard_leaders)
-            .unwrap_or_else(|e| panic!("hierarchical_allreduce: {e}"));
-    }
-
-    /// Fallible [`Communicator::hierarchical_allreduce`].
     pub fn try_hierarchical_allreduce(
         &mut self,
         buf: &mut [f32],

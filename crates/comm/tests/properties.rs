@@ -50,9 +50,9 @@ proptest! {
         let inputs: Vec<Vec<f32>> = (0..n).map(|_| (0..len).map(|_| next()).collect()).collect();
         let want = reference_sum(&inputs);
         let outs = run_ranks(n, inputs, move |c, b| match algo {
-            0 => c.allreduce_ring(b),
-            1 => c.allreduce_rhd(b),
-            _ => c.allreduce_tree(b),
+            0 => c.try_allreduce_ring(b).expect("allreduce"),
+            1 => c.try_allreduce_rhd(b).expect("allreduce"),
+            _ => c.try_allreduce_tree(b).expect("allreduce"),
         });
         for (rank, out) in outs.iter().enumerate() {
             // Bitwise agreement across ranks.
@@ -81,7 +81,7 @@ proptest! {
             .map(|r| (0..len).map(|i| (r * 31 + i) as f32 * 0.25 - 2.0).collect())
             .collect();
         let want = reference_sum(&inputs);
-        let outs = run_ranks(n, inputs, move |c, b| c.hierarchical_allreduce(b, gpn, leaders));
+        let outs = run_ranks(n, inputs, move |c, b| c.try_hierarchical_allreduce(b, gpn, leaders).expect("allreduce"));
         for out in &outs {
             for (a, b) in out.iter().zip(want.iter()) {
                 prop_assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()));
@@ -96,7 +96,7 @@ proptest! {
             .map(|r| (0..len).map(|i| (r * 100 + i) as f32).collect())
             .collect();
         let want = inputs[root].clone();
-        let outs = run_ranks(n, inputs, move |c, b| c.broadcast(root, b));
+        let outs = run_ranks(n, inputs, move |c, b| c.try_broadcast(root, b).expect("broadcast"));
         for out in &outs {
             prop_assert_eq!(out, &want);
         }

@@ -15,6 +15,107 @@ use std::time::Instant;
 const TAG_READY: u64 = 0xC0_0001;
 const TAG_BEGIN: u64 = 0xC0_0002;
 
+/// Membership-protocol tags (elastic training). Members send upward on
+/// [`TAG_MS_UP`], the leader replies on [`TAG_MS_CTRL`]; both are
+/// disjoint from the readiness tags and from the data-plane's
+/// `op_seq << 32` tags, so a membership round can never be confused with
+/// a coordination round.
+pub(crate) const TAG_MS_UP: u64 = 0xE5_0001;
+pub(crate) const TAG_MS_CTRL: u64 = 0xE5_0002;
+
+/// Leader → member message of the elastic membership protocol. One step
+/// boundary is one round: every member reports status, the leader either
+/// declares [`ViewMsg::NoChange`] or runs a propose/ack/commit handshake
+/// for a new world view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ViewMsg {
+    /// Membership is unchanged; proceed with the step.
+    NoChange,
+    /// The leader proposes that `members` form `generation`.
+    Propose {
+        /// The new generation number (strictly increasing).
+        generation: u64,
+        /// Sorted member ids of the proposed world.
+        members: Vec<usize>,
+    },
+    /// All survivors acked; transition to the proposed view now.
+    Commit,
+    /// The round failed (a peer died mid-handshake); run recovery.
+    Abort,
+}
+
+impl ViewMsg {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        match self {
+            ViewMsg::NoChange => vec![0],
+            ViewMsg::Propose { generation, members } => {
+                let mut out = vec![1];
+                out.extend_from_slice(&generation.to_le_bytes());
+                out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+                for &m in members {
+                    out.extend_from_slice(&(m as u32).to_le_bytes());
+                }
+                out
+            }
+            ViewMsg::Commit => vec![2],
+            ViewMsg::Abort => vec![3],
+        }
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<ViewMsg, String> {
+        match bytes.first() {
+            Some(0) => Ok(ViewMsg::NoChange),
+            Some(1) => {
+                if bytes.len() < 13 {
+                    return Err(format!("truncated Propose: {} bytes", bytes.len()));
+                }
+                let generation = u64::from_le_bytes(bytes[1..9].try_into().unwrap());
+                let n = u32::from_le_bytes(bytes[9..13].try_into().unwrap()) as usize;
+                if bytes.len() != 13 + 4 * n {
+                    return Err(format!("Propose of {n} members but {} bytes", bytes.len()));
+                }
+                let members = bytes[13..]
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as usize)
+                    .collect();
+                Ok(ViewMsg::Propose { generation, members })
+            }
+            Some(2) => Ok(ViewMsg::Commit),
+            Some(3) => Ok(ViewMsg::Abort),
+            other => Err(format!("unknown ViewMsg kind {other:?}")),
+        }
+    }
+}
+
+/// Member → leader message of the elastic membership protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MemberMsg {
+    /// Boundary status report: does this member want to leave now?
+    Status {
+        /// True when the member gracefully departs at this boundary.
+        wants_leave: bool,
+    },
+    /// Acknowledgement of a [`ViewMsg::Propose`].
+    Ack,
+}
+
+impl MemberMsg {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        match self {
+            MemberMsg::Status { wants_leave } => vec![0, u8::from(*wants_leave)],
+            MemberMsg::Ack => vec![1],
+        }
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<MemberMsg, String> {
+        match bytes {
+            [0, w] => Ok(MemberMsg::Status { wants_leave: *w != 0 }),
+            [1] => Ok(MemberMsg::Ack),
+            other => Err(format!("unknown MemberMsg bytes {other:?}")),
+        }
+    }
+}
+
 /// Control-plane variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ControlPlane {
@@ -366,6 +467,87 @@ mod tests {
             Err(CommError::Timeout { rank: 0, src: 1, .. }) => {}
             other => panic!("expected root timeout on rank 1, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dead_peer_mid_coordination_is_detected_after_partial_progress() {
+        use std::time::Duration;
+        // Rank 2 reports readiness for *one* tensor, then crashes. The
+        // root has made real progress with it (so this is not the
+        // never-showed-up case) but must still detect the death instead
+        // of waiting for the remaining reports forever.
+        let comms = CommWorld::with_deadline(3, Duration::from_secs(5));
+        let mut it = comms.into_iter();
+        let c0 = it.next().expect("rank 0");
+        let c1 = it.next().expect("rank 1");
+        let mut c2 = it.next().expect("rank 2");
+        c2.try_send_bytes(0, TAG_READY, encode_ids(&[0])).expect("partial readiness");
+        drop(c2); // crash after the partial report
+        let spawn = |mut c: Communicator| {
+            thread::spawn(move || {
+                let coord = Coordinator::new(ControlPlane::Hierarchical { radix: 2 }, 3);
+                coord.try_coordinate(&mut c, &[0, 1, 2]).err()
+            })
+        };
+        let (h0, h1) = (spawn(c0), spawn(c1));
+        let root_err = h0.join().expect("join").expect("root must error");
+        match root_err {
+            CommError::PeerDead { rank: 0, src: 2 } => {}
+            other => panic!("root expected PeerDead on rank 2, got {other}"),
+        }
+        let child_err = h1.join().expect("join").expect("rank 1 must error");
+        assert!(child_err.is_peer_failure(), "rank 1 sees its dead parent edge: {child_err}");
+    }
+
+    #[test]
+    fn deadline_expiry_mid_coordination_names_the_stuck_edge() {
+        use std::time::Duration;
+        // Rank 1 stays *alive* but reports only one of two tensors: no
+        // dead peer to blame, so the root must convert the stall into a
+        // Timeout naming the readiness edge it is stuck on.
+        let comms = CommWorld::with_deadline(2, Duration::from_millis(150));
+        let mut it = comms.into_iter();
+        let mut c0 = it.next().expect("rank 0");
+        let mut c1 = it.next().expect("rank 1 holds its endpoint");
+        c1.try_send_bytes(0, TAG_READY, encode_ids(&[0])).expect("partial readiness");
+        let coord = Coordinator::new(ControlPlane::Centralized, 2);
+        match coord.try_coordinate(&mut c0, &[0, 1]) {
+            Err(CommError::Timeout { rank: 0, src: 1, tag, .. }) => {
+                assert_eq!(tag, TAG_READY, "the root stalls waiting for readiness");
+            }
+            other => panic!("expected mid-round timeout, got {other:?}"),
+        }
+        drop(c1);
+    }
+
+    #[test]
+    fn membership_messages_roundtrip() {
+        let views = [
+            ViewMsg::NoChange,
+            ViewMsg::Propose { generation: 7, members: vec![0, 2, 5] },
+            ViewMsg::Propose { generation: u64::MAX, members: vec![] },
+            ViewMsg::Commit,
+            ViewMsg::Abort,
+        ];
+        for v in views {
+            assert_eq!(ViewMsg::decode(&v.encode()), Ok(v.clone()), "{v:?}");
+        }
+        for m in [MemberMsg::Status { wants_leave: false }, MemberMsg::Status { wants_leave: true }, MemberMsg::Ack] {
+            assert_eq!(MemberMsg::decode(&m.encode()), Ok(m), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_membership_messages_are_rejected() {
+        assert!(ViewMsg::decode(&[]).is_err());
+        assert!(ViewMsg::decode(&[9]).is_err());
+        assert!(ViewMsg::decode(&[1, 0, 0]).is_err(), "truncated Propose header");
+        let mut propose = ViewMsg::Propose { generation: 1, members: vec![3, 4] }.encode();
+        propose.truncate(propose.len() - 1);
+        assert!(ViewMsg::decode(&propose).is_err(), "member list shorter than its count");
+        assert!(MemberMsg::decode(&[]).is_err());
+        assert!(MemberMsg::decode(&[2]).is_err());
+        assert!(MemberMsg::decode(&[0]).is_err(), "Status without its flag byte");
     }
 
     #[test]

@@ -21,14 +21,21 @@
 //! * [`modelpar`] — the §VIII-B outlook made concrete: spatial domain
 //!   decomposition with halo exchange, bitwise-equal to single-rank
 //!   convolution.
+//! * [`elastic`] — generation-numbered membership: ranks join and leave at
+//!   step boundaries without a full restart, with crash recovery from the
+//!   live model instead of checkpoint replay.
 
 pub mod control;
+pub mod elastic;
 pub mod fusion;
 pub mod modelpar;
 mod overlap;
 pub mod trainer;
 
 pub use control::{ControlPlane, Coordinator};
+pub use elastic::{
+    train_data_parallel_elastic, ElasticConfig, ElasticReport, GenerationRecord, WorldView,
+};
 pub use fusion::{fuse, FusionBucket};
 pub use trainer::{
     train_data_parallel, train_data_parallel_ft, BatchSource, FtConfig, FtReport, OptimizerKind,

@@ -129,18 +129,26 @@ pub fn conv2d_forward_spatial(
     let down = (pos + 1 < group.len()).then(|| group[pos + 1]);
     if halo > 0 {
         if let Some(d) = down {
-            comm.send_f32(d, TAG_HALO_DOWN, take_rows(&stripe.data, rows - halo, halo));
+            comm.try_send_f32(d, TAG_HALO_DOWN, take_rows(&stripe.data, rows - halo, halo))
+                .unwrap_or_else(|e| panic!("halo send to lower neighbour {d}: {e}"));
         }
         if let Some(u) = up {
-            comm.send_f32(u, TAG_HALO_UP, take_rows(&stripe.data, 0, halo));
+            comm.try_send_f32(u, TAG_HALO_UP, take_rows(&stripe.data, 0, halo))
+                .unwrap_or_else(|e| panic!("halo send to upper neighbour {u}: {e}"));
         }
     }
     let halo_top = match (halo > 0, up) {
-        (true, Some(u)) => Some(comm.recv_f32(u, TAG_HALO_DOWN)),
+        (true, Some(u)) => Some(
+            comm.try_recv_f32(u, TAG_HALO_DOWN)
+                .unwrap_or_else(|e| panic!("halo recv from upper neighbour {u}: {e}")),
+        ),
         _ => None,
     };
     let halo_bot = match (halo > 0, down) {
-        (true, Some(d)) => Some(comm.recv_f32(d, TAG_HALO_UP)),
+        (true, Some(d)) => Some(
+            comm.try_recv_f32(d, TAG_HALO_UP)
+                .unwrap_or_else(|e| panic!("halo recv from lower neighbour {d}: {e}")),
+        ),
         _ => None,
     };
 

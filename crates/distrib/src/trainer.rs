@@ -66,7 +66,11 @@ pub enum OptimizerKind {
     },
 }
 
-fn build_optimizer(kind: OptimizerKind, lag: Option<usize>, grad_scale: f32) -> Box<dyn Optimizer + Send> {
+pub(crate) fn build_optimizer(
+    kind: OptimizerKind,
+    lag: Option<usize>,
+    grad_scale: f32,
+) -> Box<dyn Optimizer + Send> {
     fn wrap<O: Optimizer + Send + 'static>(opt: O, lag: Option<usize>) -> Box<dyn Optimizer + Send> {
         match lag {
             Some(depth) => Box::new(Lagged::with_depth(opt, depth)),
@@ -240,7 +244,18 @@ where
                 scope.spawn(move || rank_main(rank, comm, cfg, mb, source))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank thread")).collect()
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                // The plain trainer assumes a healthy world: every
+                // collective is still the fallible `try_` variant, but a
+                // failure here has no recovery story — surface it loudly.
+                h.join()
+                    .expect("rank thread")
+                    .unwrap_or_else(|e| panic!("rank {rank}: communication failed: {e}"))
+            })
+            .collect()
     });
 
     let n_steps = results[0].losses.len();
@@ -297,7 +312,7 @@ fn rank_main<B, MB>(
     cfg: TrainerConfig,
     model_builder: MB,
     mut source: B,
-) -> RankResult
+) -> Result<RankResult, CommError>
 where
     B: BatchSource,
     MB: Fn(&mut rand::rngs::StdRng) -> Box<dyn Layer>,
@@ -357,15 +372,17 @@ where
     // *batch boundaries* it emits depend on message arrival timing.
     // Execution uses the step-invariant canonical buckets above, so
     // fusion replays identically across runs and modes.
-    let coordinate = |comm: &mut Communicator, rng: &mut rand::rngs::StdRng| {
-        let mut ready: Vec<u32> = (0..n_tensors as u32).collect();
-        if cfg.shuffle_ready_order {
-            ready.shuffle(rng);
-        }
-        let mut order = coordinator.coordinate(comm, &ready);
-        order.sort_unstable();
-        debug_assert_eq!(order, canonical, "coordination must cover every tensor");
-    };
+    let coordinate =
+        |comm: &mut Communicator, rng: &mut rand::rngs::StdRng| -> Result<(), CommError> {
+            let mut ready: Vec<u32> = (0..n_tensors as u32).collect();
+            if cfg.shuffle_ready_order {
+                ready.shuffle(rng);
+            }
+            let mut order = coordinator.try_coordinate(comm, &ready)?;
+            order.sort_unstable();
+            debug_assert_eq!(order, canonical, "coordination must cover every tensor");
+            Ok(())
+        };
 
     for step in 0..cfg.steps {
         let t0 = Instant::now();
@@ -382,7 +399,7 @@ where
             // Bit-neutral: the round uses fixed control tags and consumes
             // `shuffle_rng` exactly once per step either way.
             let c = comm.as_mut().expect("communicator on rank thread");
-            coordinate(c, &mut shuffle_rng);
+            coordinate(c, &mut shuffle_rng)?;
             engine.tracker().reset();
             engine.begin_step(comm.take().expect("communicator on rank thread"), step);
         }
@@ -407,19 +424,18 @@ where
             let exposed = te.elapsed().as_secs_f64();
             profile::record_span(rank, step, SpanKind::CommExposed, te, exposed);
             comm = Some(c);
-            result.expect("overlapped gradient all-reduce failed");
+            result?;
             wire_bytes = wire;
             exposed_comm_s += exposed;
             comm_busy_s += busy;
         } else {
             let c = comm.as_mut().expect("communicator on rank thread");
-            coordinate(c, &mut shuffle_rng);
+            coordinate(c, &mut shuffle_rng)?;
             // Fused gradient all-reduces, serial on the critical path.
             let te = Instant::now();
             wire_bytes = 0;
             for bucket in &buckets {
-                wire_bytes += reduce_bucket(&params_vec, bucket, c, &settings, rank, step)
-                    .expect("gradient all-reduce failed");
+                wire_bytes += reduce_bucket(&params_vec, bucket, c, &settings, rank, step)?;
             }
             let exposed = te.elapsed().as_secs_f64();
             profile::record_span(rank, step, SpanKind::CommExposed, te, exposed);
@@ -434,7 +450,7 @@ where
 
         // Cross-rank loss mean (a tiny collective, as in real logging).
         let mut lbuf = vec![out.loss];
-        c.allreduce_tree(&mut lbuf);
+        c.try_allreduce_tree(&mut lbuf)?;
         losses.push(lbuf[0] / cfg.ranks as f32);
 
         // Replica-consistency audit: all ranks must agree bit-for-bit.
@@ -443,14 +459,14 @@ where
         step_hashes.push(h);
         let mut hbuf: Vec<f32> = (0..4).map(|i| ((h >> (16 * i)) & 0xffff) as f32).collect();
         let mine = hbuf.clone();
-        c.broadcast(0, &mut hbuf);
+        c.try_broadcast(0, &mut hbuf)?;
         if hbuf != mine {
             hashes_ok = false;
         }
         wall_times.push(t0.elapsed().as_secs_f64());
     }
 
-    RankResult {
+    Ok(RankResult {
         losses,
         wall_times,
         final_hash: param_hash(&params),
@@ -461,7 +477,7 @@ where
         exposed_comm_s,
         comm_busy_s,
         model,
-    }
+    })
 }
 
 fn param_hash(params: &ParamSet) -> u64 {
@@ -523,6 +539,10 @@ pub struct FtReport {
     pub survivors: Vec<usize>,
     /// Non-finite loss detected.
     pub diverged: bool,
+    /// Completed steps that had to be re-executed because they post-dated
+    /// the checkpoint a restart resumed from — the work checkpoint-restart
+    /// throws away, and the number elastic resizing drives to zero.
+    pub steps_replayed: usize,
 }
 
 /// How one rank's participation in a generation ended.
@@ -561,9 +581,10 @@ struct FtRankRun {
 /// two runs with the same seeds and the same fault plan produce identical
 /// parameter bits.
 ///
-/// Optimizer state (momentum/Adam moments) intentionally restarts cold
-/// from each checkpoint — the snapshot is the paper-style parameter
-/// checkpoint, not a full optimizer image.
+/// Auto-checkpoints carry the optimizer state (momentum/Adam moments) as
+/// the EXCK v2 trailer section, and restarts import it — a resumed world
+/// continues the *exact* optimizer trajectory instead of restarting the
+/// moments cold.
 pub fn train_data_parallel_ft<B, MB, SB>(
     ft: &FtConfig,
     faults: &FaultPlan,
@@ -583,6 +604,7 @@ where
     let mut ranks_lost: Vec<usize> = Vec::new();
     let mut restarts = 0usize;
     let mut checkpoints_saved = 0usize;
+    let mut steps_replayed = 0usize;
     // The most recent checkpoint written *by this run* — tracked in
     // memory, never rediscovered from disk, so stale files from an older
     // run in the same directory can't hijack a restart.
@@ -627,6 +649,7 @@ where
         let mut final_hashes: Vec<u64> = Vec::new();
         let mut hashes_ok = true;
         let mut model_out: Option<Box<dyn Layer>> = None;
+        let mut gen_end = start_step;
         for (idx, outcome) in outcomes.into_iter().enumerate() {
             let run = match outcome {
                 FtOutcome::Finished(run) => {
@@ -649,6 +672,7 @@ where
             // Rank 0 of the generation is the checkpoint writer and the
             // source of step aggregates (even from a partial generation).
             if idx == 0 {
+                gen_end = run.records.last().map_or(start_step, |r| r.0 + 1);
                 for &(step, loss, wall) in &run.records {
                     step_records[step] = Some(StepRecord { step, mean_loss: loss, wall_time_s: wall });
                 }
@@ -681,10 +705,14 @@ where
                 ranks_lost,
                 survivors: members,
                 diverged,
+                steps_replayed,
             };
             return (report, model_out.expect("rank 0 finished"));
         }
 
+        // Work completed past the checkpoint the next generation resumes
+        // from is lost and must be re-run.
+        steps_replayed += gen_end.saturating_sub(resume.as_ref().map_or(0, |(s, _)| *s));
         restarts += 1;
         assert!(
             restarts <= ft.max_restarts,
@@ -728,6 +756,16 @@ where
     let loss_fn = WeightedCrossEntropy::with_scale(cfg.loss_scale);
     let lag = cfg.gradient_lag.then_some(cfg.lag_depth.max(1));
     let mut optimizer = build_optimizer(cfg.optimizer, lag, cfg.loss_scale);
+    if let Some((step, path)) = &resume {
+        // EXCK v2 checkpoints carry the optimizer trailer; importing it
+        // resumes the exact momentum/moment trajectory (v1 files simply
+        // yield an empty state — a cold start, as before).
+        let opt_state = checkpoint::load_optimizer_state(path)
+            .unwrap_or_else(|e| panic!("rank {original}: read step-{step} optimizer state: {e}"));
+        optimizer
+            .import_state(&opt_state, &params)
+            .unwrap_or_else(|e| panic!("rank {original}: restore optimizer state: {e}"));
+    }
     // Streams are keyed by the rank's *original* id so they stay stable
     // across generations (a survivor keeps its data shard).
     let mut ctx = Ctx::train(cfg.seed ^ (original as u64 + 1) << 17);
@@ -859,8 +897,13 @@ where
                 records.push((step, mean_loss, t0.elapsed().as_secs_f64()));
                 let completed = step + 1;
                 if idx == 0 && completed % ft.checkpoint_every == 0 {
-                    checkpoint::save_auto(&state, &ft.checkpoint_dir, completed)
-                        .unwrap_or_else(|e| panic!("auto-checkpoint at step {completed}: {e}"));
+                    checkpoint::save_auto_with_optimizer(
+                        &state,
+                        &optimizer.export_state(),
+                        &ft.checkpoint_dir,
+                        completed,
+                    )
+                    .unwrap_or_else(|e| panic!("auto-checkpoint at step {completed}: {e}"));
                     saved.push(completed);
                 }
             }
@@ -878,19 +921,19 @@ where
     FtOutcome::Finished(mk_run(records, saved, hashes_ok, hash, model))
 }
 
+/// Shared toy training fixtures for the trainer / elastic test suites.
 #[cfg(test)]
-mod tests {
+pub(crate) mod test_support {
     use super::*;
     use exaclim_nn::layers::Conv2d;
     use exaclim_nn::loss::{class_weights, pixel_weight_map, ClassWeighting};
     use exaclim_nn::Sequential;
     use exaclim_tensor::init::randn;
     use exaclim_tensor::ops::Conv2dParams;
-    use rand::Rng;
 
     /// A toy per-rank source: random 2-channel fields whose label is 1
     /// where channel 0 exceeds channel 1 — learnable by a 1×1 conv.
-    struct ToySource {
+    pub(crate) struct ToySource {
         rng: rand::rngs::StdRng,
     }
 
@@ -908,7 +951,7 @@ mod tests {
         }
     }
 
-    fn toy_model(rng: &mut rand::rngs::StdRng) -> Box<dyn Layer> {
+    pub(crate) fn toy_model(rng: &mut rand::rngs::StdRng) -> Box<dyn Layer> {
         Box::new(
             Sequential::new("toy")
                 .push(Conv2d::new("c1", 2, 8, 3, Conv2dParams::padded(1), true, rng))
@@ -917,18 +960,28 @@ mod tests {
         )
     }
 
-    fn toy_config(ranks: usize, steps: usize) -> TrainerConfig {
+    pub(crate) fn toy_config(ranks: usize, steps: usize) -> TrainerConfig {
         let mut cfg = TrainerConfig::new(ranks);
         cfg.steps = steps;
         cfg.optimizer = OptimizerKind::Sgd { lr: 0.05, momentum: 0.9 };
         cfg
     }
 
-    fn toy_source(rank: usize) -> ToySource {
+    pub(crate) fn toy_source(rank: usize) -> ToySource {
         ToySource {
             rng: seeded_rng(900 + rank as u64),
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::{toy_config, toy_model, toy_source};
+    use super::*;
+    use exaclim_nn::layers::Conv2d;
+    use exaclim_nn::Sequential;
+    use exaclim_tensor::ops::Conv2dParams;
+    use rand::Rng;
 
     #[test]
     fn replicas_stay_bitwise_identical() {
@@ -1061,6 +1114,7 @@ mod tests {
         let (r, _m2) = train_data_parallel_ft(&ft, &FaultPlan::none(), toy_model, toy_source);
         assert_eq!(r.restarts, 0);
         assert!(r.ranks_lost.is_empty());
+        assert_eq!(r.steps_replayed, 0);
         assert!(r.consistent);
         assert_eq!(r.final_hashes[0], plain.final_hashes[0], "identical parameter bits");
         assert_eq!(r.checkpoints_saved, 3, "steps 2, 4, 6");
@@ -1078,6 +1132,7 @@ mod tests {
         assert_eq!(r.ranks_lost, vec![2]);
         assert_eq!(r.survivors, vec![0, 1, 3]);
         assert_eq!(r.restarts, 1);
+        assert_eq!(r.steps_replayed, 1, "step 4 post-dates the step-4 checkpoint by one");
         assert_eq!(r.steps.len(), 8, "every global step completed");
         assert!(r.steps.iter().enumerate().all(|(i, s)| s.step == i));
         assert_eq!(r.final_hashes.len(), 3, "one hash per survivor");
@@ -1096,6 +1151,7 @@ mod tests {
         let (r, _model) = train_data_parallel_ft(&ft, &faults, toy_model, toy_source);
         assert_eq!(r.ranks_lost, vec![1]);
         assert_eq!(r.restarts, 1);
+        assert_eq!(r.steps_replayed, 1, "step 0 completed but was never checkpointed");
         assert_eq!(r.steps.len(), 4);
         assert!(r.consistent);
         std::fs::remove_dir_all(&ft.checkpoint_dir).ok();

@@ -83,6 +83,28 @@ pub struct Straggler {
     pub factor: f64,
 }
 
+/// A node that asks to join the world at a step boundary (elastic
+/// training). Unlike a crash this is *cooperative*: the newcomer waits
+/// in the lobby until the membership protocol admits it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankJoin {
+    /// The node (or rank id) that joins.
+    pub node: usize,
+    /// First step boundary at which it may be admitted.
+    pub at_step: usize,
+}
+
+/// A node that announces a *graceful* departure at a step boundary.
+/// Unlike a crash the rest of the world is told in advance, so no work
+/// is lost and no recovery round is needed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankLeave {
+    /// The node (or rank id) that leaves.
+    pub node: usize,
+    /// Step boundary at which it departs (before executing this step).
+    pub at_step: usize,
+}
+
 /// A complete, deterministic fault schedule.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
@@ -94,6 +116,10 @@ pub struct FaultPlan {
     pub links: Vec<LinkFault>,
     /// Slow nodes.
     pub stragglers: Vec<Straggler>,
+    /// Graceful departures at step boundaries (elastic training).
+    pub leaves: Vec<RankLeave>,
+    /// Cooperative joins at step boundaries (elastic training).
+    pub joins: Vec<RankJoin>,
 }
 
 /// Knobs for [`FaultPlan::random`].
@@ -113,6 +139,13 @@ pub struct ChaosConfig {
     pub max_link_slowdown: f64,
     /// Maximum per-message drop probability.
     pub max_drop_prob: f64,
+    /// Per-node probability of a graceful leave (elastic churn).
+    /// Defaults to 0.0 so pre-elastic plans replay unchanged.
+    pub leave_prob: f64,
+    /// Per-node probability a *new* node joins mid-run (elastic churn).
+    /// Joiner ids are allocated above the existing node range.
+    /// Defaults to 0.0 so pre-elastic plans replay unchanged.
+    pub join_prob: f64,
 }
 
 impl Default for ChaosConfig {
@@ -125,6 +158,8 @@ impl Default for ChaosConfig {
             link_fault_prob: 0.05,
             max_link_slowdown: 8.0,
             max_drop_prob: 0.2,
+            leave_prob: 0.0,
+            join_prob: 0.0,
         }
     }
 }
@@ -174,6 +209,19 @@ impl FaultPlan {
                 let drop_prob = unit(&mut s) * cfg.max_drop_prob;
                 plan.links.push(LinkFault { src: Some(node), dst: None, slowdown, drop_prob });
             }
+            // Elastic churn draws come *after* the pre-elastic draws so
+            // that plans built with leave_prob = join_prob = 0.0 remain
+            // bit-identical to plans generated before churn existed.
+            if unit(&mut s) < cfg.leave_prob {
+                let at_step = (splitmix64(&mut s) as usize) % cfg.horizon.max(1);
+                plan.leaves.push(RankLeave { node, at_step });
+            }
+            if unit(&mut s) < cfg.join_prob {
+                let at_step = (splitmix64(&mut s) as usize) % cfg.horizon.max(1);
+                // Fresh id above the existing range: joiners are new ranks.
+                let id = nodes + plan.joins.len();
+                plan.joins.push(RankJoin { node: id, at_step });
+            }
         }
         plan
     }
@@ -217,11 +265,27 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a cooperative join of `node` at the boundary before `step`.
+    pub fn with_join_at_step(mut self, node: usize, step: usize) -> FaultPlan {
+        self.joins.push(RankJoin { node, at_step: step });
+        self
+    }
+
+    /// Adds a graceful leave of `node` at the boundary before `step`.
+    pub fn with_leave_at_step(mut self, node: usize, step: usize) -> FaultPlan {
+        self.leaves.push(RankLeave { node, at_step: step });
+        self
+    }
+
     // --- queries ---------------------------------------------------------
 
     /// True when the plan injects no faults at all.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.links.is_empty() && self.stragglers.is_empty()
+        self.crashes.is_empty()
+            && self.links.is_empty()
+            && self.stragglers.is_empty()
+            && self.leaves.is_empty()
+            && self.joins.is_empty()
     }
 
     /// The step at which `node` crashes, if any ([`CrashPoint::Step`]
@@ -264,6 +328,34 @@ impl FaultPlan {
     /// Nodes doomed to crash (any crash point).
     pub fn doomed_nodes(&self) -> Vec<usize> {
         let mut nodes: Vec<usize> = self.crashes.iter().map(|c| c.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// The first step at which `node` gracefully leaves, if scheduled
+    /// (the earliest wins). A node that leaves and later rejoins is
+    /// expressed as a leave plus a join with a larger step.
+    pub fn leave_step(&self, node: usize) -> Option<usize> {
+        self.leaves.iter().filter(|l| l.node == node).map(|l| l.at_step).min()
+    }
+
+    /// The first step at which `node` may be admitted, if scheduled.
+    pub fn join_step(&self, node: usize) -> Option<usize> {
+        self.joins.iter().filter(|j| j.node == node).map(|j| j.at_step).min()
+    }
+
+    /// Nodes scheduled to join, sorted and deduplicated.
+    pub fn joining_nodes(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self.joins.iter().map(|j| j.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// Nodes scheduled to leave, sorted and deduplicated.
+    pub fn leaving_nodes(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self.leaves.iter().map(|l| l.node).collect();
         nodes.sort_unstable();
         nodes.dedup();
         nodes
@@ -345,6 +437,16 @@ impl FaultPlan {
             mix(s.node as u64);
             mix(s.factor.to_bits());
         }
+        for l in &self.leaves {
+            mix(4);
+            mix(l.node as u64);
+            mix(l.at_step as u64);
+        }
+        for j in &self.joins {
+            mix(5);
+            mix(j.node as u64);
+            mix(j.at_step as u64);
+        }
         h
     }
 }
@@ -353,11 +455,13 @@ impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "FaultPlan(seed={}, {} crashes, {} link faults, {} stragglers)",
+            "FaultPlan(seed={}, {} crashes, {} link faults, {} stragglers, {} leaves, {} joins)",
             self.seed,
             self.crashes.len(),
             self.links.len(),
-            self.stragglers.len()
+            self.stragglers.len(),
+            self.leaves.len(),
+            self.joins.len()
         )
     }
 }
@@ -415,5 +519,76 @@ mod tests {
     fn earliest_crash_wins() {
         let plan = FaultPlan::none().with_crash_at_step(4, 9).with_crash_at_step(4, 3);
         assert_eq!(plan.crash_step(4), Some(3));
+    }
+
+    #[test]
+    fn join_leave_builders_and_queries() {
+        let plan = FaultPlan::seeded(11)
+            .with_leave_at_step(1, 4)
+            .with_leave_at_step(1, 2)
+            .with_join_at_step(5, 6)
+            .with_join_at_step(6, 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.leave_step(1), Some(2), "earliest leave wins");
+        assert_eq!(plan.leave_step(0), None);
+        assert_eq!(plan.join_step(5), Some(6));
+        assert_eq!(plan.join_step(9), None);
+        assert_eq!(plan.leaving_nodes(), vec![1]);
+        assert_eq!(plan.joining_nodes(), vec![5, 6]);
+        let display = plan.to_string();
+        assert!(display.contains("2 leaves"), "{display}");
+        assert!(display.contains("2 joins"), "{display}");
+    }
+
+    #[test]
+    fn churn_changes_the_digest() {
+        let base = FaultPlan::seeded(3).with_crash_at_step(0, 5);
+        let with_leave = base.clone().with_leave_at_step(2, 1);
+        let with_join = base.clone().with_join_at_step(2, 1);
+        assert_ne!(base.digest(), with_leave.digest());
+        assert_ne!(base.digest(), with_join.digest());
+        assert_ne!(
+            with_leave.digest(),
+            with_join.digest(),
+            "a leave and a join of the same (node, step) must hash differently"
+        );
+    }
+
+    #[test]
+    fn zero_churn_probability_keeps_legacy_plans_bit_identical() {
+        // The elastic draws happen after the legacy draws and only when
+        // their probabilities are non-zero, so pre-elastic schedules
+        // replay unchanged under the extended generator.
+        let cfg = ChaosConfig { crash_prob: 0.5, straggler_prob: 0.5, ..ChaosConfig::default() };
+        let plan = FaultPlan::random(42, 64, &cfg);
+        assert!(plan.leaves.is_empty());
+        assert!(plan.joins.is_empty());
+        assert!(!plan.crashes.is_empty());
+    }
+
+    #[test]
+    fn random_churn_is_deterministic_and_joiners_get_fresh_ids() {
+        let cfg = ChaosConfig {
+            crash_prob: 0.0,
+            straggler_prob: 0.0,
+            link_fault_prob: 0.0,
+            leave_prob: 0.5,
+            join_prob: 0.5,
+            ..ChaosConfig::default()
+        };
+        let a = FaultPlan::random(7, 32, &cfg);
+        let b = FaultPlan::random(7, 32, &cfg);
+        assert_eq!(a, b);
+        assert!(!a.leaves.is_empty(), "p=0.5 over 32 nodes should schedule leaves");
+        assert!(!a.joins.is_empty(), "p=0.5 over 32 nodes should schedule joins");
+        for j in &a.joins {
+            assert!(j.node >= 32, "joiner ids are allocated above the node range");
+        }
+        let ids = a.joining_nodes();
+        assert_eq!(ids.len(), a.joins.len(), "joiner ids are unique");
+        for l in &a.leaves {
+            assert!(l.node < 32, "only existing nodes leave");
+            assert!(l.at_step < cfg.horizon);
+        }
     }
 }

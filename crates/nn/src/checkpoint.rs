@@ -4,8 +4,15 @@
 //! checkpoint/restart; this module provides the equivalent for our
 //! parameter sets: a small self-describing binary format (magic `EXCK`)
 //! with per-tensor names, shapes, precisions and `f32` payloads.
+//!
+//! Version 2 appends an optional **optimizer-state section** (momentum
+//! velocities, Adam moments, gradient-lag queues as encoded by
+//! [`OptState::to_bytes`]) after the tensors, so a restart resumes the
+//! optimizer warm instead of cold. Version-1 files (no section) still
+//! load; [`load_optimizer_state`] returns an empty snapshot for them.
 
 use crate::layer::Layer;
+use crate::optim::OptState;
 use crate::param::ParamSet;
 use exaclim_tensor::{DType, Shape, Tensor};
 use std::fs::File;
@@ -13,7 +20,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"EXCK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -35,8 +42,19 @@ pub fn full_state(layer: &dyn Layer) -> ParamSet {
     set
 }
 
-/// Saves every parameter (name, shape, dtype, values) to `path`.
+/// Saves every parameter (name, shape, dtype, values) to `path`, with an
+/// empty optimizer section.
 pub fn save(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+    save_with_optimizer(params, &OptState::default(), path)
+}
+
+/// Saves parameters plus an optimizer-state section, so a restart can
+/// resume momenta and moments instead of rebuilding them from zero.
+pub fn save_with_optimizer(
+    params: &ParamSet,
+    opt: &OptState,
+    path: impl AsRef<Path>,
+) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(MAGIC)?;
     write_u32(&mut w, VERSION)?;
@@ -59,6 +77,11 @@ pub fn save(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
             w.write_all(&v.to_le_bytes())?;
         }
     }
+    // Optimizer section: length-prefixed OptState bytes. An empty state
+    // still writes the section header, so save→load→save is byte-stable.
+    let opt_bytes = opt.to_bytes();
+    write_u32(&mut w, opt_bytes.len() as u32)?;
+    w.write_all(&opt_bytes)?;
     w.flush()
 }
 
@@ -71,10 +94,20 @@ fn bad(msg: impl Into<String>) -> io::Error {
 /// file path. Together with [`latest`] this is the periodic-snapshot side
 /// of checkpoint/restart fault tolerance.
 pub fn save_auto(params: &ParamSet, dir: impl AsRef<Path>, step: usize) -> io::Result<PathBuf> {
+    save_auto_with_optimizer(params, &OptState::default(), dir, step)
+}
+
+/// [`save_auto`] with an optimizer-state section.
+pub fn save_auto_with_optimizer(
+    params: &ParamSet,
+    opt: &OptState,
+    dir: impl AsRef<Path>,
+    step: usize,
+) -> io::Result<PathBuf> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("step-{step:08}.exck"));
-    save(params, &path)?;
+    save_with_optimizer(params, opt, &path)?;
     Ok(path)
 }
 
@@ -105,10 +138,10 @@ pub fn latest(dir: impl AsRef<Path>) -> io::Result<Option<(usize, PathBuf)>> {
     Ok(best)
 }
 
-/// Loads a checkpoint into an existing parameter set. Every stored tensor
-/// must match a parameter by name and shape (extra/missing parameters are
-/// an error — a model-architecture mismatch).
-pub fn load_into(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+/// Opens a checkpoint, validates magic + version, and returns the reader
+/// positioned at the tensor count. Versions 1 (no optimizer section) and
+/// 2 are accepted.
+fn open_checkpoint(path: impl AsRef<Path>) -> io::Result<(BufReader<File>, u32)> {
     let mut r = BufReader::new(File::open(path)?);
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -116,9 +149,18 @@ pub fn load_into(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
         return Err(bad("not an EXCK checkpoint"));
     }
     let version = read_u32(&mut r)?;
-    if version != VERSION {
+    if version == 0 || version > VERSION {
         return Err(bad(format!("unsupported checkpoint version {version}")));
     }
+    Ok((r, version))
+}
+
+/// Loads a checkpoint into an existing parameter set. Every stored tensor
+/// must match a parameter by name and shape (extra/missing parameters are
+/// an error — a model-architecture mismatch). Any optimizer section is
+/// left untouched — see [`load_optimizer_state`].
+pub fn load_into(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
+    let (mut r, _version) = open_checkpoint(path)?;
     let count = read_u32(&mut r)? as usize;
     if count != params.len() {
         return Err(bad(format!(
@@ -162,6 +204,35 @@ pub fn load_into(params: &ParamSet, path: impl AsRef<Path>) -> io::Result<()> {
         p.set_value(Tensor::from_vec(shape, dtype, data));
     }
     Ok(())
+}
+
+/// Reads the optimizer-state section of a checkpoint. Version-1 files
+/// and version-2 files saved without optimizer state both return an
+/// empty [`OptState`] (a deliberate cold restart), so callers need no
+/// version probe.
+pub fn load_optimizer_state(path: impl AsRef<Path>) -> io::Result<OptState> {
+    let (mut r, version) = open_checkpoint(path)?;
+    if version < 2 {
+        return Ok(OptState::default());
+    }
+    // Skip the tensor section.
+    let count = read_u32(&mut r)? as usize;
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut skip = vec![0u8; name_len + 1]; // name + dtype byte
+        r.read_exact(&mut skip)?;
+        let rank = read_u32(&mut r)? as usize;
+        let mut numel = 1usize;
+        for _ in 0..rank {
+            numel *= read_u32(&mut r)? as usize;
+        }
+        let mut payload = vec![0u8; numel * 4];
+        r.read_exact(&mut payload)?;
+    }
+    let opt_len = read_u32(&mut r)? as usize;
+    let mut opt_bytes = vec![0u8; opt_len];
+    r.read_exact(&mut opt_bytes)?;
+    OptState::from_bytes(&opt_bytes).map_err(bad)
 }
 
 #[cfg(test)]
@@ -262,6 +333,62 @@ mod tests {
         load_into(&restored, path).expect("load latest");
         assert_eq!(restored.state_hash(), params.state_hash());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn optimizer_section_roundtrips() {
+        let path = tmp("opt_state.exck");
+        let params = sample_params(21);
+        let mut opt = OptState::default();
+        opt.push("sgd.v:bn.gamma", vec![0.5, -0.25, 0.0, 1.0]);
+        opt.push("adam.t", vec![7.0]);
+        opt.sort();
+        save_with_optimizer(&params, &opt, &path).expect("save");
+        // Parameters load as before…
+        let restored = sample_params(22);
+        load_into(&restored, &path).expect("load params");
+        assert_eq!(restored.state_hash(), params.state_hash());
+        // …and the optimizer section decodes exactly.
+        let got = load_optimizer_state(&path).expect("load opt");
+        assert_eq!(got, opt);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn plain_save_yields_empty_optimizer_state() {
+        let path = tmp("no_opt.exck");
+        save(&sample_params(31), &path).expect("save");
+        assert!(load_optimizer_state(&path).expect("load").is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version1_checkpoints_still_load() {
+        // Synthesize a v1 file from a v2 save: patch the version field and
+        // drop the optimizer section (v1 ended after the tensors).
+        let path = tmp("v1.exck");
+        let params = sample_params(41);
+        save(&params, &path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        bytes.truncate(bytes.len() - 8); // section length prefix + empty OptState
+        std::fs::write(&path, &bytes).expect("rewrite");
+        let restored = sample_params(42);
+        load_into(&restored, &path).expect("v1 load");
+        assert_eq!(restored.state_hash(), params.state_hash());
+        assert!(load_optimizer_state(&path).expect("v1 opt").is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let path = tmp("future.exck");
+        save(&sample_params(51), &path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(load_into(&sample_params(51), &path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

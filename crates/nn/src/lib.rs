@@ -27,4 +27,5 @@ pub mod optim;
 pub mod param;
 
 pub use layer::{Ctx, Layer, Sequential};
+pub use optim::{OptState, Optimizer};
 pub use param::{ready_hooks_active, Param, ParamSet, ReadyHook};

@@ -18,6 +18,96 @@ use exaclim_tensor::profile::{self, KernelKind, Phase};
 use exaclim_tensor::Tensor;
 use std::collections::HashMap;
 
+/// A serializable snapshot of an optimizer's internal state — momentum
+/// velocities, Adam moments, gradient-lag queues — as named `f32`
+/// vectors, **sorted by name** so the byte encoding is deterministic
+/// regardless of internal hash-map order.
+///
+/// The snapshot travels two ways: as an optional section of an EXCK
+/// checkpoint (warm restarts instead of cold optimizer state) and as a
+/// broadcast payload when an elastic joiner must replicate a survivor's
+/// exact state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptState {
+    /// `(name, values)` pairs, sorted by name.
+    pub entries: Vec<(String, Vec<f32>)>,
+}
+
+impl OptState {
+    /// True when the snapshot carries no state (a stateless optimizer,
+    /// or one that has not stepped yet).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks an entry up by name.
+    pub fn get(&self, name: &str) -> Option<&[f32]> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Adds an entry (callers sort once at the end via [`OptState::sort`]).
+    pub fn push(&mut self, name: impl Into<String>, values: Vec<f32>) {
+        self.entries.push((name.into(), values));
+    }
+
+    /// Sorts entries by name — required before encoding or comparing.
+    pub fn sort(&mut self) {
+        self.entries.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Deterministic little-endian byte encoding:
+    /// `count, then per entry: name_len, name, value_count, f32 values`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend((self.entries.len() as u32).to_le_bytes());
+        for (name, values) in &self.entries {
+            out.extend((name.len() as u32).to_le_bytes());
+            out.extend(name.as_bytes());
+            out.extend((values.len() as u32).to_le_bytes());
+            for v in values {
+                out.extend(v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes [`OptState::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<OptState, String> {
+        fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], String> {
+            let end = pos
+                .checked_add(n)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| "optimizer state truncated".to_string())?;
+            let s = &bytes[*pos..end];
+            *pos = end;
+            Ok(s)
+        }
+        fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+            let b = take(bytes, pos, 4)?;
+            Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        }
+        let mut pos = 0usize;
+        let count = take_u32(bytes, &mut pos)? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 16));
+        for _ in 0..count {
+            let name_len = take_u32(bytes, &mut pos)? as usize;
+            let name = String::from_utf8(take(bytes, &mut pos, name_len)?.to_vec())
+                .map_err(|_| "optimizer state entry name is not UTF-8".to_string())?;
+            let n_values = take_u32(bytes, &mut pos)? as usize;
+            let raw = take(bytes, &mut pos, n_values.checked_mul(4).ok_or("entry too large")?)?;
+            let values = raw
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            entries.push((name, values));
+        }
+        Ok(OptState { entries })
+    }
+}
+
 /// A parameter-set optimizer.
 pub trait Optimizer {
     /// Applies one update using the gradients currently stored in `params`
@@ -29,6 +119,39 @@ pub trait Optimizer {
 
     /// Sets the global learning rate (for schedules and batch-size scaling).
     fn set_lr(&mut self, lr: f32);
+
+    /// Snapshots internal state (momenta, moments, lag queues) for
+    /// checkpointing or replication. Stateless optimizers return an
+    /// empty snapshot.
+    fn export_state(&self) -> OptState {
+        OptState::default()
+    }
+
+    /// Restores a snapshot produced by [`Optimizer::export_state`].
+    /// Each implementation consumes the entries it recognizes and
+    /// ignores the rest (so wrappers like `Lagged` can layer their
+    /// entries over the inner optimizer's); recognized entries whose
+    /// parameter is missing or mis-sized are an error. `params` supplies
+    /// tensor shapes where state must be rebuilt as tensors.
+    fn import_state(&mut self, state: &OptState, params: &ParamSet) -> Result<(), String> {
+        let _ = (state, params);
+        Ok(())
+    }
+}
+
+/// Validates that a per-parameter state entry matches the live model.
+fn check_entry(params: &ParamSet, pname: &str, values: &[f32], what: &str) -> Result<(), String> {
+    let p = params
+        .get(pname)
+        .ok_or_else(|| format!("{what} names unknown parameter {pname}"))?;
+    if p.numel() != values.len() {
+        return Err(format!(
+            "{what} for {pname} holds {} values but the parameter has {}",
+            values.len(),
+            p.numel()
+        ));
+    }
+    Ok(())
 }
 
 fn record_optimizer_kernel(scalars: usize) {
@@ -96,6 +219,26 @@ impl Optimizer for Sgd {
     fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn export_state(&self) -> OptState {
+        let mut out = OptState::default();
+        for (name, v) in &self.velocity {
+            out.push(format!("sgd.v:{name}"), v.clone());
+        }
+        out.sort();
+        out
+    }
+
+    fn import_state(&mut self, state: &OptState, params: &ParamSet) -> Result<(), String> {
+        self.velocity.clear();
+        for (name, values) in &state.entries {
+            if let Some(pname) = name.strip_prefix("sgd.v:") {
+                check_entry(params, pname, values, "SGD velocity")?;
+                self.velocity.insert(pname.to_string(), values.clone());
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Adam (Kingma & Ba) — the optimizer the paper trains Tiramisu with.
@@ -162,6 +305,37 @@ impl Optimizer for Adam {
     fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn export_state(&self) -> OptState {
+        let mut out = OptState::default();
+        out.push("adam.t", vec![self.t as f32]);
+        for (name, m) in &self.m {
+            out.push(format!("adam.m:{name}"), m.clone());
+        }
+        for (name, v) in &self.v {
+            out.push(format!("adam.v:{name}"), v.clone());
+        }
+        out.sort();
+        out
+    }
+
+    fn import_state(&mut self, state: &OptState, params: &ParamSet) -> Result<(), String> {
+        self.t = 0;
+        self.m.clear();
+        self.v.clear();
+        for (name, values) in &state.entries {
+            if name == "adam.t" {
+                self.t = values.first().copied().unwrap_or(0.0) as u64;
+            } else if let Some(pname) = name.strip_prefix("adam.m:") {
+                check_entry(params, pname, values, "Adam first moment")?;
+                self.m.insert(pname.to_string(), values.clone());
+            } else if let Some(pname) = name.strip_prefix("adam.v:") {
+                check_entry(params, pname, values, "Adam second moment")?;
+                self.v.insert(pname.to_string(), values.clone());
+            }
+        }
+        Ok(())
+    }
 }
 
 /// LARC: SGD-momentum with a per-tensor *local* learning rate
@@ -225,6 +399,16 @@ impl Optimizer for LarcSgd {
 
     fn set_lr(&mut self, lr: f32) {
         self.inner.set_lr(lr);
+    }
+
+    fn export_state(&self) -> OptState {
+        // Trust/eps are configuration; the only mutable state is the
+        // wrapped SGD's momentum.
+        self.inner.export_state()
+    }
+
+    fn import_state(&mut self, state: &OptState, params: &ParamSet) -> Result<(), String> {
+        self.inner.import_state(state, params)
     }
 }
 
@@ -296,6 +480,45 @@ impl<O: Optimizer> Optimizer for Lagged<O> {
     fn set_lr(&mut self, lr: f32) {
         self.inner.set_lr(lr);
     }
+
+    fn export_state(&self) -> OptState {
+        let mut out = self.inner.export_state();
+        out.push("lag.seen", vec![self.seen_steps as f32]);
+        for (name, q) in &self.stash {
+            for (i, t) in q.iter().enumerate() {
+                out.push(format!("lag.q:{name}#{i:04}"), t.as_slice().to_vec());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn import_state(&mut self, state: &OptState, params: &ParamSet) -> Result<(), String> {
+        self.inner.import_state(state, params)?;
+        self.stash.clear();
+        self.seen_steps = state
+            .get("lag.seen")
+            .and_then(|v| v.first().copied())
+            .unwrap_or(0.0) as usize;
+        // Entries are sorted by name and queue indices are zero-padded,
+        // so pushing in entry order rebuilds each queue front-to-back.
+        for (name, values) in &state.entries {
+            if let Some(rest) = name.strip_prefix("lag.q:") {
+                let (pname, _) = rest
+                    .rsplit_once('#')
+                    .ok_or_else(|| format!("malformed lag-queue entry {name}"))?;
+                check_entry(params, pname, values, "gradient-lag queue")?;
+                let p = params.get(pname).expect("checked above");
+                let shape = p.value().shape().clone();
+                let dtype = p.with(|_, g| g.dtype());
+                self.stash
+                    .entry(pname.to_string())
+                    .or_default()
+                    .push_back(Tensor::from_vec(shape, dtype, values.clone()));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// LARS (You, Gitman & Ginsburg), the predecessor the paper replaced:
@@ -364,6 +587,22 @@ impl Optimizer for Lars {
 
     fn set_lr(&mut self, lr: f32) {
         self.inner.set_lr(lr);
+    }
+
+    fn export_state(&self) -> OptState {
+        let mut out = self.inner.export_state();
+        out.push("lars.step", vec![self.step as f32]);
+        out.sort();
+        out
+    }
+
+    fn import_state(&mut self, state: &OptState, params: &ParamSet) -> Result<(), String> {
+        self.inner.import_state(state, params)?;
+        self.step = state
+            .get("lars.step")
+            .and_then(|v| v.first().copied())
+            .unwrap_or(0.0) as u32;
+        Ok(())
     }
 }
 
@@ -598,5 +837,95 @@ mod tests {
         p.set_grad(Tensor::from_vec([1], DType::F32, vec![0.0]));
         opt.step(&set);
         assert!((p.value().as_slice()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn opt_state_bytes_roundtrip() {
+        let mut s = OptState::default();
+        s.push("sgd.v:b", vec![1.0, -2.5]);
+        s.push("sgd.v:a", vec![0.25]);
+        s.sort();
+        assert_eq!(s.entries[0].0, "sgd.v:a", "entries sorted by name");
+        let decoded = OptState::from_bytes(&s.to_bytes()).expect("decode");
+        assert_eq!(decoded, s);
+        assert_eq!(decoded.get("sgd.v:b"), Some([1.0f32, -2.5].as_slice()));
+        // Truncated input is an error, not a panic.
+        let bytes = s.to_bytes();
+        assert!(OptState::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn sgd_momentum_survives_export_import() {
+        // Warm up momentum, snapshot, continue in two replicas — one live,
+        // one rebuilt from the snapshot. Updates must match bitwise.
+        let (set_a, pa) = quadratic_param(5.0);
+        let mut a = Sgd::new(0.1);
+        run_steps(&mut a, &set_a, &pa, 3);
+        let snapshot = a.export_state();
+        assert!(!snapshot.is_empty());
+
+        let (set_b, pb) = quadratic_param(pa.value().as_slice()[0]);
+        let mut b = Sgd::new(0.1);
+        b.import_state(&snapshot, &set_b).expect("import");
+        let xa = run_steps(&mut a, &set_a, &pa, 2);
+        let xb = run_steps(&mut b, &set_b, &pb, 2);
+        assert_eq!(xa.to_bits(), xb.to_bits(), "warm restore is exact");
+    }
+
+    #[test]
+    fn adam_moments_survive_export_import() {
+        let (set_a, pa) = quadratic_param(3.0);
+        let mut a = Adam::new(0.2);
+        run_steps(&mut a, &set_a, &pa, 4);
+        let snapshot = a.export_state();
+        assert!(snapshot.get("adam.t").is_some(), "step count persisted");
+
+        let (set_b, pb) = quadratic_param(pa.value().as_slice()[0]);
+        let mut b = Adam::new(0.2);
+        b.import_state(&snapshot, &set_b).expect("import");
+        let xa = run_steps(&mut a, &set_a, &pa, 3);
+        let xb = run_steps(&mut b, &set_b, &pb, 3);
+        assert_eq!(xa.to_bits(), xb.to_bits(), "bias correction continues from t");
+    }
+
+    #[test]
+    fn lagged_queue_survives_export_import() {
+        let (set_a, pa) = quadratic_param(1.0);
+        let mut inner = Sgd::new(0.1);
+        inner.momentum = 0.0;
+        let mut a = Lagged::new(inner);
+        // Queue a gradient without applying it, then snapshot.
+        pa.set_grad(Tensor::from_vec([1], DType::F32, vec![7.0]));
+        a.step(&set_a);
+        let snapshot = a.export_state();
+        assert!(snapshot.get("lag.seen").is_some());
+
+        let (set_b, pb) = quadratic_param(1.0);
+        let mut inner_b = Sgd::new(0.1);
+        inner_b.momentum = 0.0;
+        let mut b = Lagged::new(inner_b);
+        b.import_state(&snapshot, &set_b).expect("import");
+        assert!(b.primed(), "restored queue makes the optimizer primed");
+        // The next step must apply the stashed gradient (7.0), not the new one.
+        pb.set_grad(Tensor::from_vec([1], DType::F32, vec![100.0]));
+        b.step(&set_b);
+        let x = pb.value().as_slice()[0];
+        assert!((x - (1.0 - 0.1 * 7.0)).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn import_rejects_mismatched_shapes() {
+        let (set, _p) = quadratic_param(1.0);
+        let mut opt = Sgd::new(0.1);
+        let mut bad = OptState::default();
+        bad.push("sgd.v:x", vec![0.0, 0.0]); // param "x" has 1 element
+        assert!(opt.import_state(&bad, &set).is_err());
+        let mut unknown = OptState::default();
+        unknown.push("sgd.v:nope", vec![0.0]);
+        assert!(opt.import_state(&unknown, &set).is_err());
+        // Entries from other optimizers are ignored, not an error.
+        let mut foreign = OptState::default();
+        foreign.push("adam.t", vec![3.0]);
+        assert!(opt.import_state(&foreign, &set).is_ok());
     }
 }

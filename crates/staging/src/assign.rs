@@ -75,6 +75,58 @@ impl StagingPlan {
             self.n_samples as u64 * sample_bytes
         }
     }
+
+    /// Re-shards ownership after a membership change: every sample whose
+    /// owner is no longer in `live` is reassigned round-robin over the
+    /// live nodes, preserving the ownership partition (every sample owned
+    /// by exactly one live node). Samples already owned by live nodes do
+    /// not move — only the orphans are re-read. Returns how many samples
+    /// moved.
+    ///
+    /// Deterministic: the reassignment depends only on the current owner
+    /// vector and the (sorted) live set, so every rank computing the new
+    /// plan independently arrives at the same answer.
+    pub fn reassign_owners(&mut self, live: &[usize]) -> usize {
+        assert!(!live.is_empty(), "cannot re-shard onto an empty live set");
+        let mut live = live.to_vec();
+        live.sort_unstable();
+        live.dedup();
+        let mut moved = 0;
+        let mut next = 0usize;
+        for owner in self.owners.iter_mut() {
+            if live.binary_search(owner).is_err() {
+                *owner = live[next % live.len()];
+                next += 1;
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Grows the plan to cover `node` (a joiner), drawing its needs with
+    /// the same seeded per-node rule as [`StagingPlan::build`] — so a
+    /// node joining an elastic run stages exactly the shard it would have
+    /// had in a fresh world of that size. No-op when the node already has
+    /// a non-empty shard.
+    pub fn ensure_node(&mut self, node: usize, samples_per_node: usize, seed: u64) {
+        if node < self.needs.len() && !self.needs[node].is_empty() {
+            return;
+        }
+        assert!(
+            samples_per_node <= self.n_samples,
+            "cannot stage {samples_per_node} distinct samples from a {}-sample set",
+            self.n_samples
+        );
+        if node >= self.needs.len() {
+            self.needs.resize(node + 1, Vec::new());
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ (node as u64).wrapping_mul(0x9e37_79b9));
+        let mut picks =
+            rand::seq::index::sample(&mut rng, self.n_samples, samples_per_node).into_vec();
+        picks.sort_unstable();
+        self.needs[node] = picks;
+        self.nodes = self.nodes.max(node + 1);
+    }
 }
 
 #[cfg(test)]
@@ -127,5 +179,46 @@ mod tests {
         let a = StagingPlan::build(40, 4, 10, 9);
         let b = StagingPlan::build(40, 4, 10, 9);
         assert_eq!(a.needs, b.needs);
+    }
+
+    #[test]
+    fn reassignment_moves_only_orphans_and_keeps_the_partition() {
+        let mut plan = StagingPlan::build(50, 5, 10, 6);
+        let before = plan.owners.clone();
+        // Node 2 leaves, node 5 joins.
+        let moved = plan.reassign_owners(&[0, 1, 3, 4, 5]);
+        assert_eq!(moved, before.iter().filter(|&&o| o == 2).count());
+        for (s, (&old, &new)) in before.iter().zip(plan.owners.iter()).enumerate() {
+            if old != 2 {
+                assert_eq!(old, new, "sample {s} moved although its owner survived");
+            } else {
+                assert_ne!(new, 2, "orphaned sample {s} must be re-owned");
+            }
+        }
+        // Still a partition over live nodes.
+        let total: usize = [0, 1, 3, 4, 5].iter().map(|&n| plan.owned_by(n).len()).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn reassignment_is_deterministic() {
+        let mut a = StagingPlan::build(64, 6, 8, 1);
+        let mut b = StagingPlan::build(64, 6, 8, 1);
+        assert_eq!(a.reassign_owners(&[1, 2, 4]), b.reassign_owners(&[4, 2, 1]));
+        assert_eq!(a.owners, b.owners, "live-set order must not matter");
+    }
+
+    #[test]
+    fn joiner_shard_matches_a_fresh_build() {
+        let mut plan = StagingPlan::build(80, 3, 12, 5);
+        plan.ensure_node(4, 12, 5);
+        let fresh = StagingPlan::build(80, 5, 12, 5);
+        assert_eq!(plan.needs[4], fresh.needs[4], "seeded per-node draw is position-independent");
+        assert_eq!(plan.nodes, 5);
+        assert!(plan.needs[3].is_empty(), "intermediate node was not implicitly staged");
+        // Re-ensuring is a no-op.
+        let shard = plan.needs[4].clone();
+        plan.ensure_node(4, 12, 5);
+        assert_eq!(plan.needs[4], shard);
     }
 }

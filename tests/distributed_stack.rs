@@ -90,7 +90,8 @@ fn control_plane_and_collective_compose_at_9_ranks() {
                 let mut results = Vec::new();
                 for &t in &order {
                     let mut buf = vec![(rank + t as usize) as f32; 8];
-                    comm.hierarchical_allreduce(&mut buf, 3, 2);
+                    comm.try_hierarchical_allreduce(&mut buf, 3, 2)
+                        .expect("hierarchical all-reduce");
                     results.push(buf[0]);
                 }
                 (order, results)

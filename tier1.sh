@@ -17,7 +17,9 @@ EXACLIM_NUM_THREADS=4 cargo test -q -p exaclim-tensor -p exaclim-nn
 EXACLIM_POOL=0 cargo test -q -p exaclim-tensor -p exaclim-nn
 
 # Backward-overlapped gradient all-reduce is opt-in via EXACLIM_OVERLAP;
-# the distrib suites must hold bit-for-bit under both settings.
+# the distrib suites must hold bit-for-bit under both settings. The
+# elastic chaos scenarios (seeded join/leave/crash plans, replayed and
+# bit-compared) ride in the distrib suite and must hold in both modes too.
 EXACLIM_OVERLAP=0 cargo test -q -p exaclim-distrib
 EXACLIM_OVERLAP=1 cargo test -q -p exaclim-distrib
 EXACLIM_OVERLAP=1 cargo test -q -p exaclim-core --test overlap_determinism
@@ -26,3 +28,9 @@ EXACLIM_OVERLAP=1 cargo test -q -p exaclim-core --test overlap_determinism
 # (exposed-comm strictly reduced, overlap fraction > 0, bit-identical
 # parameters) and writes BENCH_overlap.json.
 cargo run --release -q -p exaclim-bench --bin overlap_microbench -- --smoke
+
+# The elastic microbenchmark asserts recovery cost: an elastic resize
+# loses strictly fewer steps than checkpoint-restart replays for the same
+# crash plan, and the elastic replay is bit-identical across two runs.
+# Writes BENCH_elastic.json.
+cargo run --release -q -p exaclim-bench --bin elastic_microbench -- --smoke
