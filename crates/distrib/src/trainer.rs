@@ -18,7 +18,7 @@ use exaclim_nn::optim::{Adam, Lagged, LarcSgd, Optimizer, Sgd};
 use exaclim_nn::{Ctx, Layer, Param, ParamSet};
 use exaclim_tensor::init::seeded_rng;
 use exaclim_tensor::profile::{self, SpanKind};
-use exaclim_tensor::{DType, Tensor};
+use exaclim_tensor::{ComputePrecision, DType, Tensor};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -117,6 +117,11 @@ pub struct TrainerConfig {
     pub lag_depth: usize,
     /// Training precision for activations.
     pub precision: DType,
+    /// GEMM operand precision inside conv/deconv kernels (FP32, or
+    /// f16/bf16 panels with FP32 accumulation). Orthogonal to
+    /// `precision`: activations can stay FP32 storage while the GEMM
+    /// computes through half operands. Defaults from `EXACLIM_COMPUTE`.
+    pub compute: ComputePrecision,
     /// FP16 loss scale (1.0 for FP32).
     pub loss_scale: f32,
     /// Steps to run.
@@ -155,6 +160,7 @@ impl TrainerConfig {
             gradient_lag: false,
             lag_depth: 1,
             precision: DType::F32,
+            compute: ComputePrecision::from_env(),
             loss_scale: 1.0,
             steps: 4,
             seed: 1234,
@@ -328,7 +334,7 @@ where
     let lag = cfg.gradient_lag.then_some(cfg.lag_depth.max(1));
     let mut optimizer = build_optimizer(cfg.optimizer, lag, cfg.loss_scale);
     // Dropout decorrelates across ranks; model init does not.
-    let mut ctx = Ctx::train(cfg.seed ^ (rank as u64 + 1) << 17);
+    let mut ctx = Ctx::train(cfg.seed ^ (rank as u64 + 1) << 17).with_compute(cfg.compute);
     let mut shuffle_rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xABCD ^ rank as u64);
 
     // Tensor-id-indexed handles and step-invariant fusion buckets, fixed
@@ -768,7 +774,7 @@ where
     }
     // Streams are keyed by the rank's *original* id so they stay stable
     // across generations (a survivor keeps its data shard).
-    let mut ctx = Ctx::train(cfg.seed ^ (original as u64 + 1) << 17);
+    let mut ctx = Ctx::train(cfg.seed ^ (original as u64 + 1) << 17).with_compute(cfg.compute);
     let mut shuffle_rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ 0xABCD ^ original as u64);
     // Fast-forward the per-rank streams to the resume point so replayed
     // global steps see the batches they would have seen.

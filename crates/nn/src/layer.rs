@@ -2,7 +2,7 @@
 
 use crate::param::ParamSet;
 use exaclim_tensor::ops::ConvAlgo;
-use exaclim_tensor::{Tensor, Workspace};
+use exaclim_tensor::{ComputePrecision, Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -15,6 +15,10 @@ pub struct Ctx {
     pub rng: StdRng,
     /// Convolution algorithm selection.
     pub algo: ConvAlgo,
+    /// GEMM operand precision for conv/deconv kernels: FP32, or half
+    /// (f16/bf16) panels with FP32 accumulation — the tensor-core compute
+    /// recipe. Parameters and optimizer state stay FP32 master copies.
+    pub compute: ComputePrecision,
     /// Pool-backed scratch and activation-cache source. Layers draw
     /// backward-pass caches and temporary buffers through this handle so
     /// the replica's per-step allocation traffic is pooled and countable.
@@ -28,6 +32,7 @@ impl Ctx {
             training: true,
             rng: StdRng::seed_from_u64(seed),
             algo: ConvAlgo::Auto,
+            compute: ComputePrecision::from_env(),
             workspace: Workspace::new(),
         }
     }
@@ -38,8 +43,15 @@ impl Ctx {
             training: false,
             rng: StdRng::seed_from_u64(0),
             algo: ConvAlgo::Auto,
+            compute: ComputePrecision::from_env(),
             workspace: Workspace::new(),
         }
+    }
+
+    /// Builder-style override of the GEMM compute precision.
+    pub fn with_compute(mut self, p: ComputePrecision) -> Ctx {
+        self.compute = p;
+        self
     }
 }
 

@@ -4,7 +4,7 @@ use crate::layer::{Ctx, Layer};
 use crate::param::{Param, ParamSet};
 use exaclim_tensor::init::he_normal;
 use exaclim_tensor::ops::{self, BatchNormCache, Conv2dParams, Deconv2dParams};
-use exaclim_tensor::{DType, Shape, Tensor};
+use exaclim_tensor::{set_compute_precision, ComputePrecision, DType, Shape, Tensor};
 use rand::rngs::StdRng;
 
 /// 2-D convolution layer (`dark blue` and `green` boxes of Figure 1).
@@ -14,6 +14,9 @@ pub struct Conv2d {
     bias: Option<Param>,
     params: Conv2dParams,
     cached_input: Option<Tensor>,
+    /// GEMM operand precision stashed at forward time (backward has no
+    /// ctx, and both directions must use the same precision).
+    compute: ComputePrecision,
 }
 
 impl Conv2d {
@@ -42,6 +45,7 @@ impl Conv2d {
             bias,
             params,
             cached_input: None,
+            compute: ComputePrecision::default(),
         }
     }
 
@@ -59,7 +63,10 @@ impl Layer for Conv2d {
         // Mixed precision: cast the f32 master weight to the activation
         // precision for compute, as tensor cores do.
         let w = self.weight.value().cast(x.dtype());
+        self.compute = ctx.compute;
+        let prev = set_compute_precision(self.compute);
         let mut y = ops::conv2d_forward(x, &w, self.params, ctx.algo);
+        set_compute_precision(prev);
         if let Some(b) = &self.bias {
             let bv = b.value().cast(x.dtype());
             ops::add_bias_nchw(&mut y, &bv);
@@ -73,7 +80,9 @@ impl Layer for Conv2d {
         if let Some(b) = &self.bias {
             b.accumulate_grad(&ops::bias_grad_nchw(grad_out));
         }
+        let prev = set_compute_precision(self.compute);
         let grads = ops::conv2d_backward(&x, &w, grad_out, self.params);
+        set_compute_precision(prev);
         self.weight.accumulate_grad(&grads.grad_weight);
         grads.grad_input
     }
@@ -99,6 +108,7 @@ pub struct Deconv2d {
     weight: Param,
     params: Deconv2dParams,
     cached_input: Option<Tensor>,
+    compute: ComputePrecision,
 }
 
 impl Deconv2d {
@@ -121,6 +131,7 @@ impl Deconv2d {
             weight,
             params,
             cached_input: None,
+            compute: ComputePrecision::default(),
         }
     }
 }
@@ -129,13 +140,19 @@ impl Layer for Deconv2d {
     fn forward(&mut self, x: &Tensor, ctx: &mut Ctx) -> Tensor {
         self.cached_input = Some(ctx.workspace.cache(x));
         let w = self.weight.value().cast(x.dtype());
+        self.compute = ctx.compute;
+        // Deconv forward is a direct scatter (no GEMM); only backward
+        // routes through the packed path, but stash the precision here so
+        // both directions agree.
         ops::deconv2d_forward(x, &w, self.params)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cached_input.take().expect("Deconv2d::backward before forward");
         let w = self.weight.value().cast(x.dtype());
+        let prev = set_compute_precision(self.compute);
         let grads = ops::deconv2d_backward(&x, &w, grad_out, self.params);
+        set_compute_precision(prev);
         self.weight.accumulate_grad(&grads.grad_weight);
         grads.grad_input
     }

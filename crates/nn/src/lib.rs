@@ -26,6 +26,7 @@ pub mod metrics;
 pub mod optim;
 pub mod param;
 
+pub use exaclim_tensor::ComputePrecision;
 pub use layer::{Ctx, Layer, Sequential};
 pub use optim::{OptState, Optimizer};
 pub use param::{ready_hooks_active, Param, ParamSet, ReadyHook};

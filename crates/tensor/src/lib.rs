@@ -31,11 +31,14 @@ pub mod ops;
 pub mod pool;
 pub mod profile;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
-pub use crate::half::F16;
+pub use crate::half::{Bf16, F16};
+pub use crate::ops::gemm::{compute_precision, set_compute_precision, ComputePrecision};
 pub use crate::pool::Workspace;
 pub use crate::shape::Shape;
+pub use crate::simd::{set_simd_enabled, simd_enabled, SimdLevel};
 pub use crate::tensor::{DType, Tensor};
 
 /// Sets the kernel thread-pool width for subsequent ops (clamped to a

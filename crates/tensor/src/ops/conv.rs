@@ -9,8 +9,21 @@
 //! that cuDNN executed all convolutions as either *direct* convolutions or
 //! *implicit GEMMs*: [`ConvAlgo::Direct`] and [`ConvAlgo::Im2colGemm`].
 //! Both count the same `2·N·K·C·R·S·Ho·Wo` FLOPs.
+//!
+//! The im2col-GEMM path is a true *implicit* GEMM: the patch matrix is
+//! never materialized. [`Im2colB`] implements the blocked GEMM's
+//! [`PanelSource`] by computing each `B` micro-panel's elements straight
+//! from the input tensor, so the only intermediate storage is the
+//! cache-resident packed panel itself. Parallelism comes from the GEMM's
+//! own output-tile grid (disjoint `C` regions, fixed accumulation order —
+//! bit-identical at any thread count), not from a separate pack phase.
+//! Backward runs through the same machinery: the data gradient is
+//! `Wᵀ·∂y` per pixel strip followed by a col2im scatter, the weight
+//! gradient is `∂y·colᵀ` with the patch matrix again packed on the fly.
 
-use crate::ops::gemm::{gemm_a_bt, gemm_noprofile, gemm_strided};
+use crate::ops::gemm::{
+    compute_precision, gemm_a_bt, gemm_noprofile, gemm_panels, Layout, PanelSource, SliceB,
+};
 use crate::pool;
 use crate::profile::{self, KernelKind};
 use crate::shape::conv_out_dim;
@@ -203,12 +216,95 @@ fn im2col(
     }
 }
 
-/// Output pixels per im2col strip. Bounds the column-buffer footprint at
+/// Output pixels per backward strip. Bounds the column-gradient buffer at
 /// `C·R·S·COL_STRIP` floats regardless of image size — a full 1152×768
 /// paper tile with 48·3·3 patch rows would otherwise need a ~1.5 GB
 /// buffer. Fixed (not thread-count-dependent), so the strip partitioning
-/// and hence the floating-point evaluation order never change.
+/// and hence the floating-point evaluation order never change. (Forward no
+/// longer needs a strip: its patch matrix is packed on the fly.)
 const COL_STRIP: usize = 8192;
+
+/// [`PanelSource`] that packs im2col patch values straight into GEMM `B`
+/// micro-panels — the patch matrix `col[C·R·S, Ho·Wo]` is never stored.
+///
+/// Two orientations cover both convolution GEMMs:
+/// * forward / data-gradient shape (`by_pixel_depth = false`): logical
+///   `B = col` — depth index is the patch row `(ci, ri, si)`, columns are
+///   output pixels (offset by `pix0` for strip-wise callers);
+/// * weight-gradient shape (`by_pixel_depth = true`): logical `B = colᵀ` —
+///   depth index is the output pixel, columns are patch rows.
+pub(crate) struct Im2colB<'a> {
+    /// Backing tensor data (whole batch).
+    pub(crate) xs: &'a [f32],
+    /// Offset of this image's first element.
+    pub(crate) xbase: usize,
+    pub(crate) h: usize,
+    pub(crate) wd: usize,
+    pub(crate) r: usize,
+    pub(crate) s: usize,
+    /// Output width (decomposes a pixel index into `(hoi, woi)`).
+    pub(crate) wo: usize,
+    /// Logical column count (pixels, or `C·R·S` when `by_pixel_depth`).
+    pub(crate) ncols: usize,
+    /// First pixel of the strip this source covers.
+    pub(crate) pix0: usize,
+    pub(crate) p: Conv2dParams,
+    pub(crate) by_pixel_depth: bool,
+}
+
+impl Im2colB<'_> {
+    /// The im2col element at (patch row `crow`, output pixel `pixel`),
+    /// zero for receptive-field positions that fall in the padding.
+    #[inline]
+    fn patch(&self, crow: usize, pixel: usize) -> f32 {
+        let si = crow % self.s;
+        let ri = (crow / self.s) % self.r;
+        let ci = crow / (self.r * self.s);
+        let hoi = pixel / self.wo;
+        let woi = pixel % self.wo;
+        let hi = (hoi * self.p.stride + ri * self.p.dilation) as isize - self.p.pad as isize;
+        let wi = (woi * self.p.stride + si * self.p.dilation) as isize - self.p.pad as isize;
+        if hi >= 0 && hi < self.h as isize && wi >= 0 && wi < self.wd as isize {
+            self.xs[self.xbase + ci * self.h * self.wd + hi as usize * self.wd + wi as usize]
+        } else {
+            0.0
+        }
+    }
+}
+
+impl PanelSource for Im2colB<'_> {
+    fn pack_panel(&self, j0: usize, pc: usize, kc: usize, panel: &mut [f32]) {
+        let nr = crate::simd::NR;
+        debug_assert!(panel.len() >= kc * nr);
+        if self.by_pixel_depth {
+            // Depth = pixels, columns = patch rows (colᵀ).
+            for j in 0..nr {
+                let crow = j0 + j;
+                if crow >= self.ncols {
+                    for pi in 0..kc {
+                        panel[pi * nr + j] = 0.0;
+                    }
+                    continue;
+                }
+                for pi in 0..kc {
+                    panel[pi * nr + j] = self.patch(crow, self.pix0 + pc + pi);
+                }
+            }
+        } else {
+            // Depth = patch rows, columns = pixels (col).
+            for pi in 0..kc {
+                let crow = pc + pi;
+                for j in 0..nr {
+                    panel[pi * nr + j] = if j0 + j < self.ncols {
+                        self.patch(crow, self.pix0 + j0 + j)
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
 
 fn forward_im2col(x: &Tensor, w: &Tensor, p: Conv2dParams, y: &mut Tensor) {
     let (n, c, h, wd) = x.shape().nchw();
@@ -219,39 +315,28 @@ fn forward_im2col(x: &Tensor, w: &Tensor, p: Conv2dParams, y: &mut Tensor) {
     let ys = y.as_mut_slice();
     let crs = c * r * s;
     let hw = ho * wo;
-    let mut col = pool::take_scratch(crs * COL_STRIP.min(hw.max(1)));
-    // Images and strips run serially; parallelism lives inside the strip
-    // (im2col rows, GEMM tile grid), which keeps the peak memory bounded
-    // and feeds the pool a few large dispatches instead of many tiny ones.
+    let prec = compute_precision();
+    // Images run serially; all parallelism is the GEMM's output-tile grid,
+    // which partitions the (K × Ho·Wo) output — not the pack — so wide
+    // images scale with threads and small shapes stay on one thread.
     for ni in 0..n {
+        let src = Im2colB {
+            xs,
+            xbase: ni * c * h * wd,
+            h,
+            wd,
+            r,
+            s,
+            wo,
+            ncols: hw,
+            pix0: 0,
+            p,
+            by_pixel_depth: false,
+        };
         let yn = &mut ys[ni * k * hw..(ni + 1) * k * hw];
-        for p0 in (0..hw).step_by(COL_STRIP) {
-            let sw = COL_STRIP.min(hw - p0);
-            let strip = &mut col[..crs * sw];
-            // Each task owns one patch row (ci, ri, si) of the strip.
-            strip.par_chunks_mut(sw).enumerate().for_each(|(crow, row)| {
-                let si = crow % s;
-                let ri = (crow / s) % r;
-                let ci = crow / (r * s);
-                let xbase = (ni * c + ci) * h * wd;
-                for (j, v) in row.iter_mut().enumerate() {
-                    let pixel = p0 + j;
-                    let hoi = pixel / wo;
-                    let woi = pixel % wo;
-                    let hi = (hoi * p.stride + ri * p.dilation) as isize - p.pad as isize;
-                    let wi = (woi * p.stride + si * p.dilation) as isize - p.pad as isize;
-                    *v = if hi >= 0 && hi < h as isize && wi >= 0 && wi < wd as isize {
-                        xs[xbase + hi as usize * wd + wi as usize]
-                    } else {
-                        0.0
-                    };
-                }
-            });
-            // y_n[0..k, p0..p0+sw] += W[k, crs] · strip[crs, sw]
-            gemm_strided(k, sw, crs, ws, strip, &mut yn[p0..], hw);
-        }
+        // y_n[K, Ho·Wo] += W[K, C·R·S] · col[C·R·S, Ho·Wo]
+        gemm_panels(k, hw, crs, ws, Layout::Normal, &src, yn, hw, prec);
     }
-    pool::recycle(col);
 }
 
 /// Gradients of a convolution.
@@ -265,11 +350,21 @@ pub struct ConvGrads {
 
 /// Backward convolution: given `grad_out = ∂L/∂y`, computes input and
 /// weight gradients.
+///
+/// Both gradients run through the packed blocked GEMM (inheriting its
+/// blocking, SIMD micro-kernel and reduced-precision panels): the data
+/// gradient is `colᵍ = Wᵀ · ∂y` per pixel strip followed by a col2im
+/// scatter-add, the weight gradient is `∂y · colᵀ` with the patch matrix
+/// packed on the fly by [`Im2colB`]. Strip boundaries and scatter order
+/// are shape-derived, so results are bit-identical at any thread count.
 pub fn conv2d_backward(x: &Tensor, w: &Tensor, grad_out: &Tensor, p: Conv2dParams) -> ConvGrads {
     let (n, c, h, wd) = x.shape().nchw();
     let (k, _, r, s) = w.shape().nchw();
     let (gn, gk, ho, wo) = grad_out.shape().nchw();
     assert_eq!((gn, gk), (n, k), "grad_out batch/channel mismatch");
+    let crs = c * r * s;
+    let hw = ho * wo;
+    let prec = compute_precision();
 
     // --- grad wrt input -------------------------------------------------
     let mut gx = Tensor::zeros([n, c, h, wd], x.dtype());
@@ -277,43 +372,52 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, grad_out: &Tensor, p: Conv2dParam
         let gos = grad_out.as_slice();
         let ws = w.as_slice();
         let gxs = gx.as_mut_slice();
-        // One task per (n, c) input plane — finer parallel grain than
-        // per-image, and per-element contribution order (ki, then ri, si,
-        // hoi, woi ascending) is unchanged, so results are bit-identical
-        // at any thread count.
-        gxs.par_chunks_mut(h * wd).enumerate().for_each(|(plane, gxp)| {
-            let ni = plane / c;
-            let ci = plane % c;
-            for ki in 0..k {
-                let gbase = (ni * k + ki) * ho * wo;
-                let wbase = ((ki * c + ci) * r) * s;
-                for ri in 0..r {
-                    for si in 0..s {
-                        let wv = ws[wbase + ri * s + si];
-                        if wv == 0.0 {
-                            continue;
-                        }
-                        for hoi in 0..ho {
-                            let hi = (hoi * p.stride + ri * p.dilation) as isize
-                                - p.pad as isize;
-                            if hi < 0 || hi >= h as isize {
-                                continue;
-                            }
-                            let grow = gbase + hoi * wo;
-                            let xrow = hi as usize * wd;
-                            for woi in 0..wo {
+        let mut gcol = pool::take_scratch(crs * COL_STRIP.min(hw.max(1)));
+        for ni in 0..n {
+            let gxn = &mut gxs[ni * c * h * wd..(ni + 1) * c * h * wd];
+            for p0 in (0..hw).step_by(COL_STRIP) {
+                let sw = COL_STRIP.min(hw - p0);
+                let strip = &mut gcol[..crs * sw];
+                strip.fill(0.0);
+                // colᵍ[C·R·S, sw] = Wᵀ[C·R·S, K] · ∂y_n[K, p0..p0+sw]
+                let go_src = SliceB {
+                    b: &gos[ni * k * hw + p0..],
+                    layout: Layout::Normal,
+                    n: sw,
+                    ld: hw,
+                };
+                gemm_panels(crs, sw, k, ws, Layout::Transposed, &go_src, strip, sw, prec);
+                // col2im: one task per input channel — each owns patch rows
+                // (ci·r+ri)·s+si and the (ni, ci) plane, so writes are
+                // disjoint and the per-element order (strips ascending,
+                // then ri, si, pixel) is thread-independent.
+                let strip = &gcol[..crs * sw];
+                gxn.par_chunks_mut(h * wd).enumerate().for_each(|(ci, gxp)| {
+                    for ri in 0..r {
+                        for si in 0..s {
+                            let rowbase = ((ci * r + ri) * s + si) * sw;
+                            for (j, &g) in strip[rowbase..rowbase + sw].iter().enumerate() {
+                                let pixel = p0 + j;
+                                let hoi = pixel / wo;
+                                let woi = pixel % wo;
+                                let hi = (hoi * p.stride + ri * p.dilation) as isize
+                                    - p.pad as isize;
+                                if hi < 0 || hi >= h as isize {
+                                    continue;
+                                }
                                 let wi = (woi * p.stride + si * p.dilation) as isize
                                     - p.pad as isize;
                                 if wi < 0 || wi >= wd as isize {
                                     continue;
                                 }
-                                gxp[xrow + wi as usize] += wv * gos[grow + woi];
+                                gxp[hi as usize * wd + wi as usize] += g;
                             }
                         }
                     }
-                }
+                });
             }
-        });
+        }
+        pool::recycle(gcol);
     }
     gx.requantize();
     record_conv(
@@ -329,37 +433,23 @@ pub fn conv2d_backward(x: &Tensor, w: &Tensor, grad_out: &Tensor, p: Conv2dParam
         let gos = grad_out.as_slice();
         let xs = x.as_slice();
         let gws = gw.as_mut_slice();
-        gws.par_chunks_mut(c * r * s).enumerate().for_each(|(ki, gwk)| {
-            for ni in 0..n {
-                let gbase = (ni * k + ki) * ho * wo;
-                for ci in 0..c {
-                    let xbase = (ni * c + ci) * h * wd;
-                    for ri in 0..r {
-                        for si in 0..s {
-                            let mut acc = 0.0f32;
-                            for hoi in 0..ho {
-                                let hi = (hoi * p.stride + ri * p.dilation) as isize
-                                    - p.pad as isize;
-                                if hi < 0 || hi >= h as isize {
-                                    continue;
-                                }
-                                let grow = gbase + hoi * wo;
-                                let xrow = xbase + hi as usize * wd;
-                                for woi in 0..wo {
-                                    let wi = (woi * p.stride + si * p.dilation) as isize
-                                        - p.pad as isize;
-                                    if wi < 0 || wi >= wd as isize {
-                                        continue;
-                                    }
-                                    acc += gos[grow + woi] * xs[xrow + wi as usize];
-                                }
-                            }
-                            gwk[(ci * r + ri) * s + si] += acc;
-                        }
-                    }
-                }
-            }
-        });
+        for ni in 0..n {
+            let src = Im2colB {
+                xs,
+                xbase: ni * c * h * wd,
+                h,
+                wd,
+                r,
+                s,
+                wo,
+                ncols: crs,
+                pix0: 0,
+                p,
+                by_pixel_depth: true,
+            };
+            // Wᵍ[K, C·R·S] += ∂y_n[K, Ho·Wo] · col[C·R·S, Ho·Wo]ᵀ
+            gemm_panels(k, crs, hw, &gos[ni * k * hw..(ni + 1) * k * hw], Layout::Normal, &src, gws, crs, prec);
+        }
     }
     record_conv(
         "conv2d_bwd_weight",

@@ -6,6 +6,8 @@
 //! Weight layout follows the transposed-convolution convention
 //! `[C_in, K_out, R, S]`.
 
+use crate::ops::conv::{Conv2dParams, Im2colB};
+use crate::ops::gemm::{compute_precision, gemm_panels, Layout};
 use crate::profile::{self, KernelKind};
 use crate::shape::deconv_out_dim;
 use crate::tensor::Tensor;
@@ -110,10 +112,23 @@ pub struct DeconvGrads {
 }
 
 /// Backward transposed convolution.
+///
+/// Both gradients are ordinary convolutions of `grad_out` and run through
+/// the packed blocked GEMM: the data gradient correlates `∂y` with the
+/// kernel (`gin = W · col(∂y)`, where the patch mapping
+/// `hoi = hi·stride + ri − pad` is exactly the adjoint of the forward
+/// scatter), and the weight gradient is `x · col(∂y)ᵀ`. The patch matrix
+/// is packed on the fly by [`Im2colB`], never materialized.
 pub fn deconv2d_backward(x: &Tensor, w: &Tensor, grad_out: &Tensor, p: Deconv2dParams) -> DeconvGrads {
     let (n, c, h, wd) = x.shape().nchw();
     let (_, k, r, s) = w.shape().nchw();
     let (_, _, ho, wo) = grad_out.shape().nchw();
+    let krs = k * r * s;
+    let hw = h * wd;
+    let prec = compute_precision();
+    // The adjoint patch mapping reads gout at hoi = hi·stride + ri − pad:
+    // an ordinary (stride, pad, dilation-1) convolution over gout.
+    let conv_p = Conv2dParams { stride: p.stride, pad: p.pad, dilation: 1 };
 
     // grad input: gin[n,c,h,w] = Σ_{k,r,s} gout[n,k,h·st+r−pad, w·st+s−pad]·w[c,k,r,s]
     let mut gx = Tensor::zeros([n, c, h, wd], x.dtype());
@@ -121,36 +136,25 @@ pub fn deconv2d_backward(x: &Tensor, w: &Tensor, grad_out: &Tensor, p: Deconv2dP
         let gos = grad_out.as_slice();
         let ws = w.as_slice();
         let gxs = gx.as_mut_slice();
-        // One task per (n, c) input plane; ki-ascending accumulation per
-        // element matches the sequential order → bit-identical results.
-        gxs.par_chunks_mut(h * wd).enumerate().for_each(|(plane, gxp)| {
-            let ni = plane / c;
-            let ci = plane % c;
-            for ki in 0..k {
-                let wbase = ((ci * k + ki) * r) * s;
-                let gbase = (ni * k + ki) * ho * wo;
-                for hi in 0..h {
-                    for wi in 0..wd {
-                        let mut acc = 0.0f32;
-                        for ri in 0..r {
-                            let hoi = (hi * p.stride + ri) as isize - p.pad as isize;
-                            if hoi < 0 || hoi >= ho as isize {
-                                continue;
-                            }
-                            let grow = gbase + hoi as usize * wo;
-                            for si in 0..s {
-                                let woi = (wi * p.stride + si) as isize - p.pad as isize;
-                                if woi < 0 || woi >= wo as isize {
-                                    continue;
-                                }
-                                acc += gos[grow + woi as usize] * ws[wbase + ri * s + si];
-                            }
-                        }
-                        gxp[hi * wd + wi] += acc;
-                    }
-                }
-            }
-        });
+        // Images serial; parallelism is the GEMM's output-tile grid.
+        for ni in 0..n {
+            let src = Im2colB {
+                xs: gos,
+                xbase: ni * k * ho * wo,
+                h: ho,
+                wd: wo,
+                r,
+                s,
+                wo: wd,
+                ncols: hw,
+                pix0: 0,
+                p: conv_p,
+                by_pixel_depth: false,
+            };
+            let gxn = &mut gxs[ni * c * hw..(ni + 1) * c * hw];
+            // gin_n[C, H·W] += W[C, K·R·S] · col(∂y_n)[K·R·S, H·W]
+            gemm_panels(c, hw, krs, ws, Layout::Normal, &src, gxn, hw, prec);
+        }
     }
     gx.requantize();
     profile::record(
@@ -167,35 +171,23 @@ pub fn deconv2d_backward(x: &Tensor, w: &Tensor, grad_out: &Tensor, p: Deconv2dP
         let gos = grad_out.as_slice();
         let xs = x.as_slice();
         let gws = gw.as_mut_slice();
-        gws.par_chunks_mut(k * r * s).enumerate().for_each(|(ci, gwc)| {
-            for ni in 0..n {
-                let xbase = (ni * c + ci) * h * wd;
-                for ki in 0..k {
-                    let gbase = (ni * k + ki) * ho * wo;
-                    for ri in 0..r {
-                        for si in 0..s {
-                            let mut acc = 0.0f32;
-                            for hi in 0..h {
-                                let hoi = (hi * p.stride + ri) as isize - p.pad as isize;
-                                if hoi < 0 || hoi >= ho as isize {
-                                    continue;
-                                }
-                                let grow = gbase + hoi as usize * wo;
-                                let xrow = xbase + hi * wd;
-                                for wi in 0..wd {
-                                    let woi = (wi * p.stride + si) as isize - p.pad as isize;
-                                    if woi < 0 || woi >= wo as isize {
-                                        continue;
-                                    }
-                                    acc += xs[xrow + wi] * gos[grow + woi as usize];
-                                }
-                            }
-                            gwc[(ki * r + ri) * s + si] += acc;
-                        }
-                    }
-                }
-            }
-        });
+        for ni in 0..n {
+            let src = Im2colB {
+                xs: gos,
+                xbase: ni * k * ho * wo,
+                h: ho,
+                wd: wo,
+                r,
+                s,
+                wo: wd,
+                ncols: krs,
+                pix0: 0,
+                p: conv_p,
+                by_pixel_depth: true,
+            };
+            // Wᵍ[C, K·R·S] += x_n[C, H·W] · col(∂y_n)[K·R·S, H·W]ᵀ
+            gemm_panels(c, krs, hw, &xs[ni * c * hw..(ni + 1) * c * hw], Layout::Normal, &src, gws, krs, prec);
+        }
     }
     profile::record(
         KernelKind::Conv,

@@ -5,24 +5,34 @@
 //! The implementation follows the classic three-level blocking scheme
 //! (Goto/BLIS): the `k` dimension is cut into `KC`-deep panels, `A` is
 //! packed into `MR`-row micro-panels and `B` into `NR`-column micro-panels,
-//! and a register-tiled `MR×NR` micro-kernel accumulates each output tile
-//! while both operand panels stay cache-resident. All three storage
-//! layouts (`A·B`, `Aᵀ·B`, `A·Bᵀ`) share the same compute path — only the
-//! packing routines differ.
+//! and a register-tiled `MR×NR` micro-kernel ([`crate::simd`], AVX2/SSE2
+//! with a bit-identical scalar fallback) accumulates each output tile while
+//! both operand panels stay cache-resident. All three storage layouts
+//! (`A·B`, `Aᵀ·B`, `A·Bᵀ`) share the same compute path — only the packing
+//! routines differ — and the `B` side is abstracted behind [`PanelSource`]
+//! so convolution can pack im2col patches straight into `B` micro-panels
+//! without ever materializing the column matrix.
 //!
 //! Parallelism: the `(row-block × column-block)` tile grid of `C` is
-//! dispatched across the kernel thread pool. Every tile owns a disjoint
-//! region of `C` and accumulates its `k`-panels in a fixed order that does
-//! not depend on the thread count, so results are **bit-identical** for any
-//! `EXACLIM_NUM_THREADS`.
+//! dispatched across the kernel thread pool once the problem is large
+//! enough to amortize it. Every tile owns a disjoint region of `C` and
+//! accumulates its `k`-panels in a fixed order that does not depend on the
+//! thread count, so results are **bit-identical** for any
+//! `EXACLIM_NUM_THREADS` (and for any `EXACLIM_SIMD` setting).
+//!
+//! Reduced-precision compute (the paper's tensor-core recipe, §IV): when
+//! the thread's [`ComputePrecision`] is `F16` or `Bf16`, both operand
+//! panels are quantized to 16-bit at pack time and the micro-kernel widens
+//! them back per element, keeping **all accumulation in FP32** — operands
+//! lose precision, sums never do. Master weights stay FP32 in the
+//! optimizer, so this mirrors mixed-precision training, not a half-float
+//! library.
 
 use crate::profile::{self, KernelKind};
+use crate::simd::{self, HalfKind, MR, NR};
 use rayon::prelude::*;
+use std::cell::Cell;
 
-/// Rows of `A` per packed micro-panel (register tile height).
-const MR: usize = 4;
-/// Columns of `B` per packed micro-panel (register tile width).
-const NR: usize = 8;
 /// Depth of one packed `k`-panel (`A`/`B` micro-panels stay L1-resident).
 const KC: usize = 256;
 /// Rows of `C` per parallel tile (`A` panel of `MC·KC` floats is L2-sized).
@@ -33,14 +43,130 @@ const NC: usize = 512;
 /// streaming kernel instead. Shape-dependent only, so the choice is
 /// identical at every thread count.
 const BLOCKED_MIN_VOLUME: usize = 64 * 64 * 64;
+/// Below this `m·n·k` volume the blocked kernel runs its tile grid on the
+/// caller thread: pool dispatch costs more than it buys. Tiles are
+/// disjoint, so serial vs parallel execution is bit-identical — this
+/// threshold trades wall time only.
+const PAR_MIN_VOLUME: usize = 128 * 128 * 128;
+
+/// Operand element type for GEMM compute (the paper's fp16 tensor-core
+/// path and its bf16 cousin). Selected per thread via
+/// [`set_compute_precision`] or process-wide via `EXACLIM_COMPUTE=f16|bf16`;
+/// read once at each GEMM entry on the caller thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComputePrecision {
+    /// Full-precision operands (the default).
+    #[default]
+    F32,
+    /// IEEE binary16 operand panels, FP32 accumulation.
+    F16,
+    /// bfloat16 operand panels, FP32 accumulation.
+    Bf16,
+}
+
+impl ComputePrecision {
+    /// Short label for census/bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ComputePrecision::F32 => "f32",
+            ComputePrecision::F16 => "f16",
+            ComputePrecision::Bf16 => "bf16",
+        }
+    }
+
+    /// Reads `EXACLIM_COMPUTE` (`f16`/`fp16`/`bf16`; anything else —
+    /// including unset — means FP32).
+    pub fn from_env() -> Self {
+        match std::env::var("EXACLIM_COMPUTE").as_deref().map(str::trim) {
+            Ok("f16") | Ok("fp16") => ComputePrecision::F16,
+            Ok("bf16") => ComputePrecision::Bf16,
+            _ => ComputePrecision::F32,
+        }
+    }
+}
+
+thread_local! {
+    static COMPUTE: Cell<ComputePrecision> = Cell::new(ComputePrecision::from_env());
+}
+
+/// The calling thread's GEMM operand precision.
+pub fn compute_precision() -> ComputePrecision {
+    COMPUTE.with(|c| c.get())
+}
+
+/// Sets the calling thread's GEMM operand precision and returns the
+/// previous value (callers restore it guard-style around an op).
+pub fn set_compute_precision(p: ComputePrecision) -> ComputePrecision {
+    COMPUTE.with(|c| c.replace(p))
+}
 
 /// How an operand is laid out in memory relative to its logical role.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Layout {
+pub(crate) enum Layout {
     /// Stored exactly as its logical `rows×cols` row-major shape.
     Normal,
     /// Stored transposed: logical element `(i, j)` lives at `(j, i)`.
     Transposed,
+}
+
+/// A provider of packed `B` micro-panels: anything that can write the
+/// `NR`-column panel covering logical columns `[j0, j0+NR)` and depths
+/// `[pc, pc+kc)` into a `kc·NR` buffer (layout: `kc` groups of `NR`
+/// column-values, zero-padded past the matrix edge). Convolution
+/// implements this with on-the-fly im2col so the column matrix never
+/// exists in memory.
+pub(crate) trait PanelSource: Sync {
+    fn pack_panel(&self, j0: usize, pc: usize, kc: usize, panel: &mut [f32]);
+}
+
+/// [`PanelSource`] over a dense slice: logical element `(p, j)` lives at
+/// `b[p·ld + j]` (`Normal`) or `b[j·ld + p]` (`Transposed`). `ld` is the
+/// stored row stride, which may exceed the logical width — that is how
+/// strip-wise convolution reads a column window of a wider matrix.
+pub(crate) struct SliceB<'a> {
+    pub b: &'a [f32],
+    pub layout: Layout,
+    /// Logical column count of `B` (panel columns past it are zero-padded).
+    pub n: usize,
+    /// Stored row stride.
+    pub ld: usize,
+}
+
+impl PanelSource for SliceB<'_> {
+    fn pack_panel(&self, j0: usize, pc: usize, kc: usize, panel: &mut [f32]) {
+        debug_assert!(panel.len() >= kc * NR);
+        match self.layout {
+            Layout::Normal => {
+                if j0 + NR <= self.n {
+                    // Interior panel: each k-row contributes NR contiguous
+                    // source floats — the hot copy of the packed GEMM.
+                    simd::vpack_rows(kc, &self.b[pc * self.ld + j0..], self.ld, panel);
+                } else {
+                    for p in 0..kc {
+                        let row = &self.b[(pc + p) * self.ld..];
+                        for j in 0..NR {
+                            panel[p * NR + j] = if j0 + j < self.n { row[j0 + j] } else { 0.0 };
+                        }
+                    }
+                }
+            }
+            Layout::Transposed => {
+                // Stored n×k: logical column j is a contiguous stored row.
+                for j in 0..NR {
+                    if j0 + j < self.n {
+                        let col = &self.b[(j0 + j) * self.ld + pc..];
+                        for p in 0..kc {
+                            panel[p * NR + j] = col[p];
+                        }
+                    } else {
+                        for p in 0..kc {
+                            panel[p * NR + j] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Shared raw pointer to `C`, handed to tile tasks.
@@ -67,13 +193,20 @@ impl SendPtr {
 /// Parallelized over output tiles on the kernel pool. Records a census
 /// entry of `2·m·n·k` FLOPs when invoked directly (the convolution
 /// wrappers record at the op level instead and call [`gemm_noprofile`]).
+/// The census name carries the operand precision (`gemm`, `gemm_f16`,
+/// `gemm_bf16`).
 ///
 /// # Panics
 /// Panics if slice lengths do not match the given dimensions.
 pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let name = match compute_precision() {
+        ComputePrecision::F32 => "gemm",
+        ComputePrecision::F16 => "gemm_f16",
+        ComputePrecision::Bf16 => "gemm_bf16",
+    };
     profile::record(
         KernelKind::Conv,
-        "gemm",
+        name,
         2 * (m * n * k) as u64,
         4 * (m * k + k * n) as u64,
         4 * (m * n) as u64,
@@ -110,11 +243,14 @@ pub fn gemm_a_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f3
 }
 
 /// `c[i·ldc + j] += Σ a[i,·]·b[·,j]` over an `m×n` sub-matrix of a larger
-/// row-major buffer with leading dimension `ldc ≥ n`. Lets the strip-wise
-/// im2col convolution accumulate directly into column slices of its output
-/// without a copy.
+/// row-major buffer with leading dimension `ldc ≥ n`. Lets strip-wise
+/// callers accumulate directly into column slices of their output without
+/// a copy.
 ///
 /// `c` must start at the sub-matrix origin and cover its last element.
+/// (Conv backward now reaches the same blocked path through
+/// [`gemm_panels`]; this entry remains for dense strided callers.)
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn gemm_strided(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], ldc: usize) {
     assert!(ldc >= n, "leading dimension must cover the row width");
     assert_eq!(a.len(), m * k, "A must be m×k");
@@ -124,6 +260,37 @@ pub(crate) fn gemm_strided(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c
         "C must cover the strided m×n sub-matrix"
     );
     gemm_dispatch(m, n, k, a, Layout::Normal, b, Layout::Normal, c, ldc);
+}
+
+/// The generalized blocked entry for convolution: `A` is a dense slice,
+/// `B` is any [`PanelSource`] (typically on-the-fly im2col), `C` is a
+/// strided `m×n` output window, and `prec` selects the operand precision
+/// (read once by the caller so the whole op uses one setting).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_panels(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    bsrc: &impl PanelSource,
+    c: &mut [f32],
+    ldc: usize,
+    prec: ComputePrecision,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    assert!(ldc >= n, "leading dimension must cover the row width");
+    assert!(
+        c.len() >= (m - 1) * ldc + n,
+        "C must cover the strided m×n sub-matrix"
+    );
+    match prec {
+        ComputePrecision::F32 => gemm_blocked(m, n, k, a, a_layout, bsrc, c, ldc),
+        ComputePrecision::F16 => gemm_blocked_half(m, n, k, a, a_layout, bsrc, c, ldc, HalfKind::F16),
+        ComputePrecision::Bf16 => gemm_blocked_half(m, n, k, a, a_layout, bsrc, c, ldc, HalfKind::Bf16),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -141,10 +308,22 @@ fn gemm_dispatch(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    if m * n * k < BLOCKED_MIN_VOLUME {
-        gemm_small(m, n, k, a, a_layout, b, b_layout, c, ldc);
-    } else {
-        gemm_blocked(m, n, k, a, a_layout, b, b_layout, c, ldc);
+    let prec = compute_precision();
+    let ld = match b_layout {
+        Layout::Normal => n,
+        Layout::Transposed => k,
+    };
+    let bsrc = SliceB { b, layout: b_layout, n, ld };
+    match prec {
+        ComputePrecision::F32 => {
+            if m * n * k < BLOCKED_MIN_VOLUME {
+                gemm_small(m, n, k, a, a_layout, b, b_layout, c, ldc);
+            } else {
+                gemm_blocked(m, n, k, a, a_layout, &bsrc, c, ldc);
+            }
+        }
+        ComputePrecision::F16 => gemm_blocked_half(m, n, k, a, a_layout, &bsrc, c, ldc, HalfKind::F16),
+        ComputePrecision::Bf16 => gemm_blocked_half(m, n, k, a, a_layout, &bsrc, c, ldc, HalfKind::Bf16),
     }
 }
 
@@ -228,50 +407,51 @@ fn pack_a_panel(a: &[f32], layout: Layout, m: usize, k: usize, i0: usize, pc: us
     }
 }
 
-/// Packs the `NR`-column micro-panel of `B` covering logical columns
-/// `[j0, j0+NR)` and depths `[pc, pc+kc)` into `panel` (layout: `kc`
-/// groups of `NR` column-values, zero-padded past `n`).
-#[allow(clippy::too_many_arguments)]
-fn pack_b_panel(b: &[f32], layout: Layout, n: usize, k: usize, j0: usize, pc: usize, kc: usize, panel: &mut [f32]) {
-    debug_assert_eq!(panel.len(), kc * NR);
-    match layout {
-        Layout::Normal => {
-            for p in 0..kc {
-                let row = &b[(pc + p) * n..];
-                for j in 0..NR {
-                    panel[p * NR + j] = if j0 + j < n { row[j0 + j] } else { 0.0 };
-                }
+/// Quantizes a packed f32 panel to 16-bit operand storage. Software
+/// round-to-nearest-even in both the f16 and bf16 cases, so panel contents
+/// are identical no matter which SIMD level later consumes them.
+fn quantize_panel(src: &[f32], dst: &mut [u16], kind: HalfKind) {
+    debug_assert_eq!(src.len(), dst.len());
+    match kind {
+        HalfKind::F16 => {
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = crate::half::F16::from_f32(s).0;
             }
         }
-        Layout::Transposed => {
-            // B stored n×k: column j of logical B is a contiguous k-row.
-            for j in 0..NR {
-                if j0 + j < n {
-                    let col = &b[(j0 + j) * k + pc..];
-                    for p in 0..kc {
-                        panel[p * NR + j] = col[p];
-                    }
-                } else {
-                    for p in 0..kc {
-                        panel[p * NR + j] = 0.0;
-                    }
-                }
+        HalfKind::Bf16 => {
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = crate::half::Bf16::from_f32(s).0;
             }
         }
     }
 }
 
-/// The register tile: `acc[MR][NR] += ap ⊗ bp` over `kc` depths. With
-/// `MR`/`NR` constant the accumulators live in SIMD registers and the
-/// inner loop compiles to broadcast-multiply-accumulate rows.
-#[inline]
-fn microkernel(kc: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
-    for (a_col, b_row) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
-        for (i, &av) in a_col.iter().enumerate() {
-            for (j, &bv) in b_row.iter().enumerate() {
-                acc[i][j] += av * bv;
-            }
-        }
+/// Tile descriptors for the parallel grid: (row-block, col-block).
+fn tile_grid(m: usize, n: usize) -> Vec<(usize, usize)> {
+    let m_tiles = m.div_ceil(MC);
+    let n_tiles = n.div_ceil(NC);
+    (0..m_tiles)
+        .flat_map(|mt| (0..n_tiles).map(move |nt| (mt, nt)))
+        .collect()
+}
+
+/// Hardware threads available to the process, cached once. On a
+/// single-core host pool dispatch can only add overhead, so the tile loop
+/// stays on the caller thread regardless of the configured pool width.
+fn hw_parallelism() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs `body` over the tile grid — on the pool when the problem is big
+/// enough to amortize dispatch and the machine can actually run tiles
+/// concurrently, on the caller thread otherwise. Tiles are disjoint, so
+/// both routes produce identical bits.
+fn for_each_tile(tiles: &[(usize, usize)], volume: usize, body: impl Fn(&(usize, usize)) + Sync) {
+    if tiles.len() > 1 && volume >= PAR_MIN_VOLUME && hw_parallelism() > 1 {
+        tiles.par_iter().for_each(body);
+    } else {
+        tiles.iter().for_each(body);
     }
 }
 
@@ -282,31 +462,26 @@ fn gemm_blocked(
     k: usize,
     a: &[f32],
     a_layout: Layout,
-    b: &[f32],
-    b_layout: Layout,
+    bsrc: &impl PanelSource,
     c: &mut [f32],
     ldc: usize,
 ) {
     let m_panels = m.div_ceil(MR);
-    let m_tiles = m.div_ceil(MC);
-    let n_tiles = n.div_ceil(NC);
-    // Tile descriptors for the parallel grid: (row-block, col-block).
-    let tiles: Vec<(usize, usize)> = (0..m_tiles)
-        .flat_map(|mt| (0..n_tiles).map(move |nt| (mt, nt)))
-        .collect();
+    let tiles = tile_grid(m, n);
     let c_ptr = SendPtr(c.as_mut_ptr());
 
     // One packed-A buffer for the whole kc-panel, shared read-only by all
-    // tiles (packed in parallel below: one task per MR-micro-panel).
+    // tiles. Packed serially: the pack is a tiny fraction of the FLOPs and
+    // pool dispatch here costs more than it buys.
     let mut ap = crate::pool::take_scratch(m_panels * MR * KC);
 
     for pc in (0..k).step_by(KC) {
         let kc = KC.min(k - pc);
-        ap.par_chunks_mut(MR * KC).enumerate().for_each(|(panel, buf)| {
+        for (panel, buf) in ap.chunks_mut(MR * KC).enumerate() {
             pack_a_panel(a, a_layout, m, k, panel * MR, pc, kc, &mut buf[..kc * MR]);
-        });
+        }
 
-        tiles.par_iter().for_each(|&(mt, nt)| {
+        for_each_tile(&tiles, m * n * k, |&(mt, nt)| {
             let c_raw = c_ptr.get();
             let i0 = mt * MC;
             let mc = MC.min(m - i0);
@@ -319,7 +494,7 @@ fn gemm_blocked(
             let nr_panels = nc.div_ceil(NR);
             let mut bp = crate::pool::take_scratch(nr_panels * NR * kc);
             bp.chunks_exact_mut(NR * kc).enumerate().for_each(|(panel, buf)| {
-                pack_b_panel(b, b_layout, n, k, j0 + panel * NR, pc, kc, buf);
+                bsrc.pack_panel(j0 + panel * NR, pc, kc, buf);
             });
 
             for ir in (0..mc).step_by(MR) {
@@ -330,23 +505,93 @@ fn gemm_blocked(
                     let j = j0 + panel * NR;
                     let nr_eff = NR.min(n - j);
                     let mut acc = [[0.0f32; NR]; MR];
-                    microkernel(kc, ap_panel, bp_panel, &mut acc);
+                    simd::microkernel(kc, ap_panel, bp_panel, &mut acc);
                     // Safety: rows [i, i+mr_eff) × cols [j, j+nr_eff) lie
                     // inside this task's tile; tiles are disjoint.
-                    for (r, acc_row) in acc.iter().enumerate().take(mr_eff) {
-                        let row = unsafe {
-                            std::slice::from_raw_parts_mut(c_raw.add((i + r) * ldc + j), nr_eff)
-                        };
-                        for (c_ij, &v) in row.iter_mut().zip(acc_row.iter()) {
-                            *c_ij += v;
-                        }
-                    }
+                    unsafe {
+                        simd::tile_accumulate(&acc, mr_eff, nr_eff, c_raw.add(i * ldc + j), ldc)
+                    };
                 }
             }
             crate::pool::recycle(bp);
         });
     }
     crate::pool::recycle(ap);
+}
+
+/// The half-precision sibling of [`gemm_blocked`]: identical blocking and
+/// tile grid, but operand panels are stored as 16-bit (f16 or bf16) and
+/// the micro-kernel widens each element back to f32 before the
+/// multiply-accumulate. Accumulators and `C` stay FP32 throughout.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_half(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_layout: Layout,
+    bsrc: &impl PanelSource,
+    c: &mut [f32],
+    ldc: usize,
+    kind: HalfKind,
+) {
+    let m_panels = m.div_ceil(MR);
+    let tiles = tile_grid(m, n);
+    let c_ptr = SendPtr(c.as_mut_ptr());
+
+    // Quantized panels are u16, outside the f32 pool's size classes; the
+    // half path is opt-in, so these allocations never touch the FP32
+    // steady-state alloc budget.
+    let mut ap16 = vec![0u16; m_panels * MR * KC];
+    let mut a_scratch = [0.0f32; MR * KC];
+
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for panel in 0..m_panels {
+            pack_a_panel(a, a_layout, m, k, panel * MR, pc, kc, &mut a_scratch[..kc * MR]);
+            quantize_panel(
+                &a_scratch[..kc * MR],
+                &mut ap16[panel * MR * KC..panel * MR * KC + kc * MR],
+                kind,
+            );
+        }
+        let ap16 = &ap16;
+
+        for_each_tile(&tiles, m * n * k, |&(mt, nt)| {
+            let c_raw = c_ptr.get();
+            let i0 = mt * MC;
+            let mc = MC.min(m - i0);
+            let j0 = nt * NC;
+            let nc = NC.min(n - j0);
+            let nr_panels = nc.div_ceil(NR);
+            let mut bp16 = vec![0u16; nr_panels * NR * kc];
+            let mut b_scratch = [0.0f32; NR * KC];
+            for panel in 0..nr_panels {
+                bsrc.pack_panel(j0 + panel * NR, pc, kc, &mut b_scratch[..kc * NR]);
+                quantize_panel(
+                    &b_scratch[..kc * NR],
+                    &mut bp16[panel * NR * kc..(panel + 1) * NR * kc],
+                    kind,
+                );
+            }
+
+            for ir in (0..mc).step_by(MR) {
+                let i = i0 + ir;
+                let mr_eff = MR.min(m - i);
+                let ap_panel = &ap16[(i / MR) * MR * KC..(i / MR) * MR * KC + kc * MR];
+                for (panel, bp_panel) in bp16.chunks_exact(NR * kc).enumerate() {
+                    let j = j0 + panel * NR;
+                    let nr_eff = NR.min(n - j);
+                    let mut acc = [[0.0f32; NR]; MR];
+                    simd::microkernel_half(kc, ap_panel, bp_panel, &mut acc, kind);
+                    // Safety: same disjoint-tile argument as gemm_blocked.
+                    unsafe {
+                        simd::tile_accumulate(&acc, mr_eff, nr_eff, c_raw.add(i * ldc + j), ldc)
+                    };
+                }
+            }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +635,69 @@ mod tests {
         let expect = naive(m, n, k, &a, &b);
         for (x, y) in c.iter().zip(expect.iter()) {
             assert!((x - y).abs() < 2e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_blocked_are_bit_identical() {
+        let (m, n, k) = (131, 73, 301);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 13 % 17) as f32 - 8.0) * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.5).collect();
+        crate::simd::set_simd_enabled(true);
+        let mut c_fast = vec![0.0; m * n];
+        gemm_noprofile(m, n, k, &a, &b, &mut c_fast);
+        crate::simd::set_simd_enabled(false);
+        let mut c_slow = vec![0.0; m * n];
+        gemm_noprofile(m, n, k, &a, &b, &mut c_slow);
+        crate::simd::set_simd_enabled(true);
+        assert_eq!(
+            c_fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            c_slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn half_precision_gemm_tracks_f32_within_tolerance() {
+        let (m, n, k) = (33, 29, 70);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 13 % 17) as f32 - 8.0) * 0.03).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 7 % 11) as f32 - 5.0) * 0.05).collect();
+        let mut c32 = vec![0.0; m * n];
+        gemm_noprofile(m, n, k, &a, &b, &mut c32);
+        for prec in [ComputePrecision::F16, ComputePrecision::Bf16] {
+            let prev = set_compute_precision(prec);
+            let mut ch = vec![0.0; m * n];
+            gemm_noprofile(m, n, k, &a, &b, &mut ch);
+            set_compute_precision(prev);
+            let tol: f32 = match prec {
+                ComputePrecision::F16 => 0.05,
+                _ => 0.3, // bf16 has 8 mantissa bits
+            };
+            for (x, y) in ch.iter().zip(c32.iter()) {
+                assert!((x - y).abs() < tol.max(y.abs() * tol), "{prec:?}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn half_precision_gemm_is_bit_identical_across_simd_levels() {
+        let (m, n, k) = (37, 41, 90);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 29 % 13) as f32 - 6.0) * 0.06).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 23 % 9) as f32 - 4.0) * 0.04).collect();
+        for prec in [ComputePrecision::F16, ComputePrecision::Bf16] {
+            let prev = set_compute_precision(prec);
+            crate::simd::set_simd_enabled(true);
+            let mut c_fast = vec![0.0; m * n];
+            gemm_noprofile(m, n, k, &a, &b, &mut c_fast);
+            crate::simd::set_simd_enabled(false);
+            let mut c_slow = vec![0.0; m * n];
+            gemm_noprofile(m, n, k, &a, &b, &mut c_slow);
+            crate::simd::set_simd_enabled(true);
+            set_compute_precision(prev);
+            assert_eq!(
+                c_fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                c_slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{prec:?}"
+            );
         }
     }
 
@@ -484,6 +792,30 @@ mod tests {
                 } else {
                     assert_eq!(v, 1.0, "({i},{j}) must be untouched");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_panels_matches_dense_on_strided_output() {
+        // Same product through gemm_panels (blocked, PanelSource) and the
+        // plain dense entry must agree; output goes through a wider buffer.
+        let (m, n, k) = (23, 19, 35);
+        let ldc = 31;
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 11 % 29) as f32 - 14.0) * 0.07).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 5 % 31) as f32 - 15.0) * 0.05).collect();
+        let expect = naive(m, n, k, &a, &b);
+        let src = SliceB { b: &b, layout: Layout::Normal, n, ld: n };
+        let mut c = vec![0.0f32; m * ldc];
+        gemm_panels(m, n, k, &a, Layout::Normal, &src, &mut c, ldc, ComputePrecision::F32);
+        for i in 0..m {
+            for j in 0..n {
+                let got = c[i * ldc + j];
+                let want = expect[i * n + j];
+                assert!((got - want).abs() < 1e-3, "({i},{j}): {got} vs {want}");
+            }
+            for j in n..ldc {
+                assert_eq!(c[i * ldc + j], 0.0, "({i},{j}) must be untouched");
             }
         }
     }

@@ -20,7 +20,7 @@ pub mod reduce;
 pub use conv::{conv2d_backward, conv2d_forward, Conv2dParams, ConvAlgo};
 pub use deconv::{deconv2d_backward, deconv2d_forward, Deconv2dParams};
 pub use fused::{conv2d_forward_fused, Epilogue};
-pub use gemm::gemm;
+pub use gemm::{compute_precision, gemm, set_compute_precision, ComputePrecision};
 pub use interp::{bilinear_resize_backward, bilinear_resize_forward};
 pub use layout::{nchw_to_nhwc, nhwc_to_nchw};
 pub use norm::{batchnorm_backward, batchnorm_forward, BatchNormCache};

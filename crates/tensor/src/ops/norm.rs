@@ -6,6 +6,7 @@
 //! mixed-precision recipe the paper's Volta runs used.
 
 use crate::profile::{self, KernelKind};
+use crate::simd;
 use crate::tensor::{DType, Tensor};
 use rayon::prelude::*;
 
@@ -43,17 +44,15 @@ pub fn batchnorm_forward(
 
     // One task per channel: each channel's statistic accumulates its
     // per-plane partial sums in ni-ascending order (the sequential order),
-    // so results are bit-identical at any thread count.
+    // so results are bit-identical at any thread count. Each plane sum
+    // uses the canonical lane-split order of the [`crate::simd`]
+    // reductions, so the value is also the same at any SIMD level.
     let mut mean = vec![0.0f32; c];
     let mut var = vec![0.0f32; c];
     mean.par_iter_mut().enumerate().for_each(|(ci, mv)| {
         for ni in 0..n {
             let base = (ni * c + ci) * h * w;
-            let mut acc = 0.0f64;
-            for &v in &xs[base..base + h * w] {
-                acc += v as f64;
-            }
-            *mv += acc as f32;
+            *mv += simd::sum_f64(&xs[base..base + h * w]) as f32;
         }
         *mv /= m;
     });
@@ -61,12 +60,7 @@ pub fn batchnorm_forward(
         let mu = mean[ci];
         for ni in 0..n {
             let base = (ni * c + ci) * h * w;
-            let mut acc = 0.0f64;
-            for &v in &xs[base..base + h * w] {
-                let d = v - mu;
-                acc += (d * d) as f64;
-            }
-            *vv += acc as f32;
+            *vv += simd::sum_sqdiff_f64(&xs[base..base + h * w], mu) as f32;
         }
         *vv /= m;
     });
@@ -94,15 +88,15 @@ pub fn batchnorm_forward(
             .for_each(|(plane, (xhp, yp))| {
                 let ci = plane % c;
                 let base = plane * h * w;
-                let mu = mean[ci];
-                let is = inv_std[ci];
-                let g = gs[ci];
-                let b = bs[ci];
-                for (i, (xn_out, y_out)) in xhp.iter_mut().zip(yp.iter_mut()).enumerate() {
-                    let xn = (xs[base + i] - mu) * is;
-                    *xn_out = xn;
-                    *y_out = g * xn + b;
-                }
+                simd::vbn_apply(
+                    &xs[base..base + h * w],
+                    mean[ci],
+                    inv_std[ci],
+                    gs[ci],
+                    bs[ci],
+                    xhp,
+                    yp,
+                );
             });
     }
     y.requantize();
@@ -150,12 +144,8 @@ pub fn batchnorm_backward(
         .for_each(|(ci, (sg, sgx))| {
             for ni in 0..n {
                 let base = (ni * c + ci) * h * w;
-                let mut a = 0.0f64;
-                let mut b = 0.0f64;
-                for i in base..base + h * w {
-                    a += gos[i] as f64;
-                    b += (gos[i] * xh[i]) as f64;
-                }
+                let (a, b) =
+                    simd::sum2_f64(&gos[base..base + h * w], &xh[base..base + h * w]);
                 *sg += a as f32;
                 *sgx += b as f32;
             }
@@ -168,11 +158,15 @@ pub fn batchnorm_backward(
             let ci = plane % c;
             let base = plane * h * w;
             let k = gs[ci] * cache.inv_std[ci] / m;
-            let sg = sum_gy[ci];
-            let sgx = sum_gy_xhat[ci];
-            for (i, o) in gxp.iter_mut().enumerate() {
-                *o = k * (m * gos[base + i] - sg - xh[base + i] * sgx);
-            }
+            simd::vbn_backward(
+                &gos[base..base + h * w],
+                &xh[base..base + h * w],
+                k,
+                sum_gy[ci],
+                sum_gy_xhat[ci],
+                m,
+                gxp,
+            );
         });
     }
     gx.requantize();

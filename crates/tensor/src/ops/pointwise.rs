@@ -6,6 +6,7 @@
 
 use crate::pool;
 use crate::profile::{self, KernelKind};
+use crate::simd;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -13,44 +14,40 @@ use rayon::prelude::*;
 
 /// Elements per parallel block for flat elementwise kernels. Fixed (not a
 /// function of thread count), so partitioning — and hence results — are
-/// identical at any pool width.
+/// identical at any pool width. Inside a block the [`crate::simd`]
+/// primitives do the work (AVX2 when available, a bit-identical scalar
+/// loop otherwise).
 const PW_BLOCK: usize = 16384;
 
 fn record_pw(name: &'static str, flops: u64, read: u64, written: u64) {
     profile::record(KernelKind::Pointwise, name, flops, read, written);
 }
 
-/// `out[i] = f(a[i])` over parallel blocks (output drawn from the pool).
-fn map1(a: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
+/// Applies a slice kernel `f(dst, a)` over parallel blocks (output drawn
+/// from the pool).
+fn map1(a: &[f32], f: impl Fn(&mut [f32], &[f32]) + Sync) -> Vec<f32> {
     let mut data = pool::take_zeroed(a.len());
     data.par_chunks_mut(PW_BLOCK)
         .zip(a.par_chunks(PW_BLOCK))
-        .for_each(|(d, x)| {
-            for (o, &u) in d.iter_mut().zip(x.iter()) {
-                *o = f(u);
-            }
-        });
+        .for_each(|(d, x)| f(d, x));
     data
 }
 
-/// `out[i] = f(a[i], b[i])` over parallel blocks (output drawn from the pool).
-fn map2(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
+/// Applies a slice kernel `f(dst, a, b)` over parallel blocks (output
+/// drawn from the pool).
+fn map2(a: &[f32], b: &[f32], f: impl Fn(&mut [f32], &[f32], &[f32]) + Sync) -> Vec<f32> {
     let mut data = pool::take_zeroed(a.len());
     data.par_chunks_mut(PW_BLOCK)
         .zip(a.par_chunks(PW_BLOCK))
         .zip(b.par_chunks(PW_BLOCK))
-        .for_each(|((d, x), y)| {
-            for ((o, &u), &v) in d.iter_mut().zip(x.iter()).zip(y.iter()) {
-                *o = f(u, v);
-            }
-        });
+        .for_each(|((d, x), y)| f(d, x, y));
     data
 }
 
 /// Elementwise `a + b`.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.shape(), b.shape(), "add shape mismatch");
-    let data = map2(a.as_slice(), b.as_slice(), |x, y| x + y);
+    let data = map2(a.as_slice(), b.as_slice(), simd::vadd);
     let out = Tensor::from_vec(a.shape().clone(), a.dtype(), data);
     record_pw(
         "add",
@@ -64,7 +61,7 @@ pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
 /// Elementwise `a * b`.
 pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
-    let data = map2(a.as_slice(), b.as_slice(), |x, y| x * y);
+    let data = map2(a.as_slice(), b.as_slice(), simd::vmul);
     let out = Tensor::from_vec(a.shape().clone(), a.dtype(), data);
     record_pw(
         "mul",
@@ -77,27 +74,17 @@ pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// `a * s` into a new tensor.
 pub fn scale_tensor(a: &Tensor, s: f32) -> Tensor {
-    let data = map1(a.as_slice(), |x| x * s);
+    let data = map1(a.as_slice(), |d, x| simd::vscale(d, x, s));
     let out = Tensor::from_vec(a.shape().clone(), a.dtype(), data);
     record_pw("scale", a.numel() as u64, a.storage_bytes() as u64, out.storage_bytes() as u64);
     out
-}
-
-/// In-place `x[i] = f(x[i])` over parallel blocks — the zero-allocation
-/// epilogue path.
-fn map1_(x: &mut [f32], f: impl Fn(f32) -> f32 + Sync) {
-    x.par_chunks_mut(PW_BLOCK).for_each(|chunk| {
-        for v in chunk.iter_mut() {
-            *v = f(*v);
-        }
-    });
 }
 
 /// In-place ReLU: `x = max(0, x)`. Reuses the input buffer — no
 /// allocation, one read + one write per element.
 pub fn relu_(x: &mut Tensor) {
     let bytes = x.storage_bytes() as u64;
-    map1_(x.as_mut_slice(), |v| v.max(0.0));
+    x.as_mut_slice().par_chunks_mut(PW_BLOCK).for_each(simd::vrelu_);
     // max(0, ·) of an f16-exact value is f16-exact; no requantize needed.
     record_pw("relu_", x.numel() as u64, bytes, bytes);
 }
@@ -110,11 +97,9 @@ pub fn scale_add_(y: &mut Tensor, s: f32, x: &Tensor) {
     {
         let xs = x.as_slice();
         let ys = y.as_mut_slice();
-        ys.par_chunks_mut(PW_BLOCK).zip(xs.par_chunks(PW_BLOCK)).for_each(|(yc, xc)| {
-            for (v, &u) in yc.iter_mut().zip(xc.iter()) {
-                *v = s * *v + u;
-            }
-        });
+        ys.par_chunks_mut(PW_BLOCK)
+            .zip(xs.par_chunks(PW_BLOCK))
+            .for_each(|(yc, xc)| simd::vscale_add_(yc, s, xc));
     }
     y.requantize();
     record_pw("scale_add_", 2 * y.numel() as u64, bytes + x.storage_bytes() as u64, bytes);
@@ -130,10 +115,7 @@ pub fn add_bias_nchw(x: &mut Tensor, bias: &Tensor) {
         let bs = bias.as_slice();
         let xs = x.as_mut_slice();
         xs.par_chunks_mut(h * w).enumerate().for_each(|(plane, xp)| {
-            let b = bs[plane % c];
-            for v in xp.iter_mut() {
-                *v += b;
-            }
+            simd::vadd_scalar_(xp, bs[plane % c]);
         });
     }
     x.requantize();
@@ -155,11 +137,13 @@ pub fn bias_grad_nchw(grad_out: &Tensor) -> Tensor {
         let gos = grad_out.as_slice();
         let gbs = gb.as_mut_slice();
         // One task per channel; the image loop stays ni-ascending inside,
-        // matching the sequential per-channel accumulation order.
+        // matching the sequential per-channel accumulation order. Each
+        // plane sum uses the canonical lane-split order of
+        // [`simd::sum_f32`], so the value is the same at any SIMD level.
         gbs.par_iter_mut().enumerate().for_each(|(ci, gbc)| {
             for ni in 0..n {
                 let base = (ni * c + ci) * h * w;
-                *gbc += gos[base..base + h * w].iter().sum::<f32>();
+                *gbc += simd::sum_f32(&gos[base..base + h * w]);
             }
         });
     }
@@ -174,7 +158,7 @@ pub fn bias_grad_nchw(grad_out: &Tensor) -> Tensor {
 
 /// ReLU forward.
 pub fn relu_forward(x: &Tensor) -> Tensor {
-    let data = map1(x.as_slice(), |v| v.max(0.0));
+    let data = map1(x.as_slice(), simd::vrelu);
     let out = Tensor::from_vec(x.shape().clone(), x.dtype(), data);
     record_pw("relu_fwd", x.numel() as u64, x.storage_bytes() as u64, out.storage_bytes() as u64);
     out
@@ -183,7 +167,7 @@ pub fn relu_forward(x: &Tensor) -> Tensor {
 /// ReLU backward: passes gradients where the *input* was positive.
 pub fn relu_backward(x: &Tensor, grad_out: &Tensor) -> Tensor {
     assert_eq!(x.shape(), grad_out.shape(), "relu_backward shape mismatch");
-    let data = map2(x.as_slice(), grad_out.as_slice(), |v, g| if v > 0.0 { g } else { 0.0 });
+    let data = map2(x.as_slice(), grad_out.as_slice(), simd::vrelu_mask);
     let out = Tensor::from_vec(x.shape().clone(), grad_out.dtype(), data);
     record_pw(
         "relu_bwd",
@@ -201,7 +185,7 @@ pub fn relu_backward(x: &Tensor, grad_out: &Tensor) -> Tensor {
 /// [`relu_backward`] on the matching input.
 pub fn relu_backward_from_output(y: &Tensor, grad_out: &Tensor) -> Tensor {
     assert_eq!(y.shape(), grad_out.shape(), "relu_backward_from_output shape mismatch");
-    let data = map2(y.as_slice(), grad_out.as_slice(), |v, g| if v > 0.0 { g } else { 0.0 });
+    let data = map2(y.as_slice(), grad_out.as_slice(), simd::vrelu_mask);
     let out = Tensor::from_vec(y.shape().clone(), grad_out.dtype(), data);
     record_pw(
         "relu_bwd",
@@ -222,7 +206,7 @@ pub fn dropout_forward(x: &Tensor, drop_prob: f32, rng: &mut StdRng) -> (Tensor,
     // mask, and splitting it across threads would change the draws.
     let mut mask = pool::take_with_capacity(x.numel());
     mask.extend((0..x.numel()).map(|_| if rng.gen::<f32>() < keep { inv } else { 0.0 }));
-    let data = map2(x.as_slice(), &mask, |v, m| v * m);
+    let data = map2(x.as_slice(), &mask, simd::vmul);
     let out = Tensor::from_vec(x.shape().clone(), x.dtype(), data);
     record_pw(
         "dropout_fwd",
@@ -236,7 +220,7 @@ pub fn dropout_forward(x: &Tensor, drop_prob: f32, rng: &mut StdRng) -> (Tensor,
 /// Dropout backward: applies the stored mask.
 pub fn dropout_backward(grad_out: &Tensor, mask: &[f32]) -> Tensor {
     assert_eq!(grad_out.numel(), mask.len(), "dropout mask length mismatch");
-    let data = map2(grad_out.as_slice(), mask, |g, m| g * m);
+    let data = map2(grad_out.as_slice(), mask, simd::vmul);
     let out = Tensor::from_vec(grad_out.shape().clone(), grad_out.dtype(), data);
     record_pw(
         "dropout_bwd",

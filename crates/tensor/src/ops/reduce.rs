@@ -4,10 +4,22 @@
 //! and the weighted cross-entropy loss consumes per-pixel log-probabilities.
 //! Both use the max-subtraction trick, which matters doubly under FP16.
 
+use crate::pool;
 use crate::profile::{self, KernelKind};
+use crate::simd;
 use crate::tensor::Tensor;
 
+/// Pixels per softmax block: the per-block `max` / `exp-sum` scratch rows
+/// stay cache-resident while the channel loop runs vectorized across the
+/// block. Fixed, so the evaluation order never depends on configuration.
+const SM_BLOCK: usize = 8192;
+
 /// Softmax over the channel axis of an NCHW tensor.
+///
+/// Channels are the reduction axis but pixels are the vector axis: for a
+/// block of pixels the channel loop runs [`simd::vmax_`] /
+/// [`simd::vadd_`] rows, so each pixel's reduction order (ci-ascending)
+/// is exactly the scalar order and only the `exp` stays scalar.
 pub fn softmax_channels(x: &Tensor) -> Tensor {
     let (n, c, h, w) = x.shape().nchw();
     let mut y = Tensor::zeros(x.shape().clone(), x.dtype());
@@ -15,21 +27,41 @@ pub fn softmax_channels(x: &Tensor) -> Tensor {
         let xs = x.as_slice();
         let ys = y.as_mut_slice();
         let hw = h * w;
+        let bw_max = SM_BLOCK.min(hw.max(1));
+        let mut mx = pool::take_scratch(bw_max);
+        let mut z = pool::take_scratch(bw_max);
+        let mut e = pool::take_scratch(bw_max);
         for ni in 0..n {
-            for p in 0..hw {
-                let mut mx = f32::NEG_INFINITY;
+            let mut p0 = 0;
+            while p0 < hw {
+                let bw = SM_BLOCK.min(hw - p0);
+                let (mx, z, e) = (&mut mx[..bw], &mut z[..bw], &mut e[..bw]);
+                mx.fill(f32::NEG_INFINITY);
                 for ci in 0..c {
-                    mx = mx.max(xs[(ni * c + ci) * hw + p]);
+                    let row = (ni * c + ci) * hw + p0;
+                    simd::vmax_(mx, &xs[row..row + bw]);
                 }
-                let mut z = 0.0f32;
+                z.fill(0.0);
                 for ci in 0..c {
-                    z += (xs[(ni * c + ci) * hw + p] - mx).exp();
+                    let row = (ni * c + ci) * hw + p0;
+                    let yr = &mut ys[row..row + bw];
+                    for (o, (&v, &m)) in yr.iter_mut().zip(xs[row..row + bw].iter().zip(mx.iter()))
+                    {
+                        *o = (v - m).exp();
+                    }
+                    simd::vadd_(z, yr);
                 }
                 for ci in 0..c {
-                    ys[(ni * c + ci) * hw + p] = (xs[(ni * c + ci) * hw + p] - mx).exp() / z;
+                    let row = (ni * c + ci) * hw + p0;
+                    e.copy_from_slice(&ys[row..row + bw]);
+                    simd::vdiv(&mut ys[row..row + bw], e, z);
                 }
+                p0 += bw;
             }
         }
+        pool::recycle(mx);
+        pool::recycle(z);
+        pool::recycle(e);
     }
     y.requantize();
     profile::record(
@@ -51,22 +83,43 @@ pub fn log_softmax_channels(x: &Tensor) -> Tensor {
         let xs = x.as_slice();
         let ys = y.as_mut_slice();
         let hw = h * w;
+        let bw_max = SM_BLOCK.min(hw.max(1));
+        let mut mx = pool::take_scratch(bw_max);
+        let mut z = pool::take_scratch(bw_max);
+        let mut e = pool::take_scratch(bw_max);
         for ni in 0..n {
-            for p in 0..hw {
-                let mut mx = f32::NEG_INFINITY;
+            let mut p0 = 0;
+            while p0 < hw {
+                let bw = SM_BLOCK.min(hw - p0);
+                let (mx, z, e) = (&mut mx[..bw], &mut z[..bw], &mut e[..bw]);
+                mx.fill(f32::NEG_INFINITY);
                 for ci in 0..c {
-                    mx = mx.max(xs[(ni * c + ci) * hw + p]);
+                    let row = (ni * c + ci) * hw + p0;
+                    simd::vmax_(mx, &xs[row..row + bw]);
                 }
-                let mut z = 0.0f32;
+                z.fill(0.0);
                 for ci in 0..c {
-                    z += (xs[(ni * c + ci) * hw + p] - mx).exp();
+                    let row = (ni * c + ci) * hw + p0;
+                    for (o, (&v, &m)) in e.iter_mut().zip(xs[row..row + bw].iter().zip(mx.iter()))
+                    {
+                        *o = (v - m).exp();
+                    }
+                    simd::vadd_(z, e);
                 }
-                let logz = z.ln() + mx;
+                // Reuse z as the per-pixel logz row.
+                for (zz, &m) in z.iter_mut().zip(mx.iter()) {
+                    *zz = zz.ln() + m;
+                }
                 for ci in 0..c {
-                    ys[(ni * c + ci) * hw + p] = xs[(ni * c + ci) * hw + p] - logz;
+                    let row = (ni * c + ci) * hw + p0;
+                    simd::vsub(&mut ys[row..row + bw], &xs[row..row + bw], z);
                 }
+                p0 += bw;
             }
         }
+        pool::recycle(mx);
+        pool::recycle(z);
+        pool::recycle(e);
     }
     profile::record(
         KernelKind::Pointwise,

@@ -4,11 +4,33 @@ use exaclim_tensor::half::{quantize_f16, F16};
 use exaclim_tensor::ops::{self, Conv2dParams, ConvAlgo};
 use exaclim_tensor::{DType, Shape, Tensor};
 use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the global SIMD switch so one test's
+/// "scalar" phase cannot be re-enabled mid-run by a sibling.
+static SIMD_TOGGLE: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once with SIMD forced off and once with it on, restoring the
+/// prior state, and returns `(scalar, vector)` results for bit comparison.
+fn scalar_and_simd<T>(f: impl Fn() -> T) -> (T, T) {
+    let _g = SIMD_TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = exaclim_tensor::simd_enabled();
+    exaclim_tensor::set_simd_enabled(false);
+    let scalar = f();
+    exaclim_tensor::set_simd_enabled(true);
+    let vector = f();
+    exaclim_tensor::set_simd_enabled(prev);
+    (scalar, vector)
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
 
 fn small_f32() -> impl Strategy<Value = f32> {
     prop_oneof![
-        (-100.0f32..100.0),
-        (-1.0e-3f32..1.0e-3),
+        -100.0f32..100.0,
+        -1.0e-3f32..1.0e-3,
         Just(0.0f32),
     ]
 }
@@ -153,5 +175,133 @@ proptest! {
         prop_assert_ne!(h1, y.bit_hash());
         let z = x.clone();
         prop_assert_eq!(h1, z.bit_hash());
+    }
+
+    /// The small-GEMM path produces the same bits with and without SIMD,
+    /// including remainder rows/columns against the MR×NR register tile.
+    #[test]
+    fn gemm_small_bit_identical_across_simd(
+        m in 1usize..10, n in 1usize..18, k in 1usize..12, seed in 0u64..200,
+    ) {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let a = exaclim_tensor::init::randn([m * k], DType::F32, 1.0, &mut rng);
+        let b = exaclim_tensor::init::randn([k * n], DType::F32, 1.0, &mut rng);
+        let (s, v) = scalar_and_simd(|| {
+            let mut c = vec![0.0f32; m * n];
+            ops::gemm(m, n, k, a.as_slice(), b.as_slice(), &mut c);
+            c.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        });
+        prop_assert_eq!(s, v);
+    }
+
+    /// Half-precision GEMM panels (f16 and bf16): widening to f32 is
+    /// exact, so the vector path must match the scalar path bit-for-bit.
+    #[test]
+    fn gemm_half_bit_identical_across_simd(
+        m in 1usize..8, n in 1usize..14, k in 1usize..10, seed in 0u64..100,
+        bf16 in proptest::bool::ANY,
+    ) {
+        use exaclim_tensor::{set_compute_precision, ComputePrecision};
+        let prec = if bf16 { ComputePrecision::Bf16 } else { ComputePrecision::F16 };
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let a = exaclim_tensor::init::randn([m * k], DType::F32, 1.0, &mut rng);
+        let b = exaclim_tensor::init::randn([k * n], DType::F32, 1.0, &mut rng);
+        let (s, v) = scalar_and_simd(|| {
+            let prev = set_compute_precision(prec);
+            let mut c = vec![0.0f32; m * n];
+            ops::gemm(m, n, k, a.as_slice(), b.as_slice(), &mut c);
+            set_compute_precision(prev);
+            c.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        });
+        prop_assert_eq!(s, v);
+    }
+
+    /// Both convolution lowerings are bit-identical across SIMD levels
+    /// for random geometry (stride/pad/dilation, odd spatial sizes).
+    #[test]
+    fn conv_forward_bit_identical_across_simd(
+        seed in 0u64..200,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        algo in prop::sample::select(vec![ConvAlgo::Direct, ConvAlgo::Im2colGemm]),
+    ) {
+        let p = Conv2dParams { stride, pad, dilation: 1 };
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let x = exaclim_tensor::init::randn([1, 3, 7, 9], DType::F32, 1.0, &mut rng);
+        let w = exaclim_tensor::init::randn([5, 3, 3, 3], DType::F32, 0.5, &mut rng);
+        let (s, v) = scalar_and_simd(|| bits(&ops::conv2d_forward(&x, &w, p, algo)));
+        prop_assert_eq!(s, v);
+    }
+
+    /// Convolution backward (data and weight gradients, both through the
+    /// packed GEMM path) is bit-identical across SIMD levels.
+    #[test]
+    fn conv_backward_bit_identical_across_simd(seed in 0u64..150, pad in 0usize..2) {
+        let p = Conv2dParams { stride: 1, pad, dilation: 1 };
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let x = exaclim_tensor::init::randn([2, 3, 6, 7], DType::F32, 1.0, &mut rng);
+        let w = exaclim_tensor::init::randn([4, 3, 3, 3], DType::F32, 0.5, &mut rng);
+        let y = ops::conv2d_forward(&x, &w, p, ConvAlgo::Direct);
+        let go = exaclim_tensor::init::randn(y.shape().clone(), DType::F32, 1.0, &mut rng);
+        let (s, v) = scalar_and_simd(|| {
+            let g = ops::conv2d_backward(&x, &w, &go, p);
+            (bits(&g.grad_input), bits(&g.grad_weight))
+        });
+        prop_assert_eq!(s, v);
+    }
+
+    /// Batch norm forward and backward (vectorized statistics, apply and
+    /// gradient kernels) are bit-identical across SIMD levels.
+    #[test]
+    fn batchnorm_bit_identical_across_simd(seed in 0u64..200, c in 1usize..5) {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let x = exaclim_tensor::init::randn([2, c, 5, 7], DType::F32, 1.0, &mut rng);
+        let gamma = exaclim_tensor::init::randn([c], DType::F32, 0.5, &mut rng);
+        let beta = exaclim_tensor::init::randn([c], DType::F32, 0.5, &mut rng);
+        let go = exaclim_tensor::init::randn([2, c, 5, 7], DType::F32, 1.0, &mut rng);
+        let (s, v) = scalar_and_simd(|| {
+            let (y, cache) = ops::batchnorm_forward(&x, &gamma, &beta, 1e-5, None);
+            let g = ops::batchnorm_backward(&go, &gamma, &cache);
+            (bits(&y), bits(&g.grad_input), bits(&g.grad_gamma), bits(&g.grad_beta))
+        });
+        prop_assert_eq!(s, v);
+    }
+
+    /// The pointwise family and channel softmax/log-softmax are
+    /// bit-identical across SIMD levels on odd lengths (vector remainder
+    /// lanes included).
+    #[test]
+    fn pointwise_bit_identical_across_simd(seed in 0u64..200, c in 1usize..6) {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let x = exaclim_tensor::init::randn([1, c, 3, 11], DType::F32, 2.0, &mut rng);
+        let yv = exaclim_tensor::init::randn([1, c, 3, 11], DType::F32, 2.0, &mut rng);
+        let (s, v) = scalar_and_simd(|| {
+            let mut out = bits(&ops::add(&x, &yv));
+            out.extend(bits(&ops::mul(&x, &yv)));
+            out.extend(bits(&ops::relu_forward(&x)));
+            out.extend(bits(&ops::relu_backward(&x, &yv)));
+            out.extend(bits(&ops::softmax_channels(&x)));
+            out.extend(bits(&ops::log_softmax_channels(&x)));
+            out
+        });
+        prop_assert_eq!(s, v);
+    }
+}
+
+/// The blocked GEMM path (cache-blocked, packed panels, register
+/// micro-kernel) on shapes with remainder rows, columns and depth against
+/// every blocking parameter: bits must match the scalar route exactly.
+#[test]
+fn gemm_blocked_bit_identical_across_simd() {
+    for (m, n, k, seed) in [(65, 130, 70, 7u64), (64, 513, 17, 11), (130, 67, 37, 13)] {
+        let mut rng = exaclim_tensor::init::seeded_rng(seed);
+        let a = exaclim_tensor::init::randn([m * k], DType::F32, 1.0, &mut rng);
+        let b = exaclim_tensor::init::randn([k * n], DType::F32, 1.0, &mut rng);
+        let (s, v) = scalar_and_simd(|| {
+            let mut c = vec![0.0f32; m * n];
+            ops::gemm(m, n, k, a.as_slice(), b.as_slice(), &mut c);
+            c.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        });
+        assert_eq!(s, v, "blocked GEMM bits diverge at m={m} n={n} k={k}");
     }
 }

@@ -95,6 +95,13 @@ fn default_width() -> usize {
     })
 }
 
+/// Hardware threads on this host, cached. Gates whether a dispatch
+/// actually fans out (see [`parallel_for`]).
+fn host_parallelism() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// Current pool width: the number of threads (callers included) that
 /// participate in a parallel dispatch.
 pub fn current_num_threads() -> usize {
@@ -201,7 +208,12 @@ fn parallel_for(total: usize, task: &(dyn Fn(usize) + Sync)) {
         return;
     }
     let width = current_num_threads().min(total);
-    if width <= 1 || IN_TASK.with(|c| c.get()) {
+    // On a single-hardware-thread host, fanning out can only add
+    // scheduling overhead — run inline regardless of the configured
+    // width. Chunk results are deterministic at any width, so this
+    // changes timing only, never bits. (`current_num_threads` still
+    // reports the configured width.)
+    if width <= 1 || host_parallelism() <= 1 || IN_TASK.with(|c| c.get()) {
         for i in 0..total {
             task(i);
         }

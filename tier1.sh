@@ -16,6 +16,11 @@ EXACLIM_NUM_THREADS=4 cargo test -q -p exaclim-tensor -p exaclim-nn
 # allocator traffic, never numerics.
 EXACLIM_POOL=0 cargo test -q -p exaclim-tensor -p exaclim-nn
 
+# ... and with the SIMD micro-kernels disabled: the scalar fallback is
+# the reference the vector paths are bit-compared against, so it must
+# stay green on its own.
+EXACLIM_SIMD=0 cargo test -q -p exaclim-tensor -p exaclim-nn
+
 # Backward-overlapped gradient all-reduce is opt-in via EXACLIM_OVERLAP;
 # the distrib suites must hold bit-for-bit under both settings. The
 # elastic chaos scenarios (seeded join/leave/crash plans, replayed and
@@ -34,3 +39,7 @@ cargo run --release -q -p exaclim-bench --bin overlap_microbench -- --smoke
 # crash plan, and the elastic replay is bit-identical across two runs.
 # Writes BENCH_elastic.json.
 cargo run --release -q -p exaclim-bench --bin elastic_microbench -- --smoke
+
+# The kernel microbenchmark's smoke mode asserts the SIMD GEMM is
+# bit-identical to the scalar route and no slower than it.
+cargo run --release -q -p exaclim-bench --bin kernel_microbench -- --smoke
