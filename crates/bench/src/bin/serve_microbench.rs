@@ -1,0 +1,306 @@
+//! Serving-tier microbenchmark: a closed-loop load generator against
+//! `exaclim-serve`, sweeping offered load (concurrent clients) and
+//! batching configurations, plus a tiled full-frame inference pass.
+//!
+//! Writes `BENCH_serve.json` and prints a latency table per sweep point:
+//! requests/sec, p50/p99 latency, mean batch size, flush reasons, queue
+//! depth high-water, and the recycling pool's hit fraction for the run.
+//!
+//! Two gates hold in every mode (they are the serving tier's contract):
+//!
+//! * **Bit identity** — outputs served through dynamic batches hash
+//!   identically to the batch=1 baseline, request by request.
+//! * **Batching wins** — at the highest swept load, dynamic batching
+//!   serves at least 2× the requests/sec of batch=1 at equal-or-better
+//!   p99 latency.
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin serve_microbench [-- --smoke]
+//! ```
+
+use exaclim_models::{DeepLabConfig, DeepLabV3Plus};
+use exaclim_nn::Layer;
+use exaclim_perfmodel::{render_latency_table, LatencyHistogram};
+use exaclim_serve::{infer_tiled, InferenceServer, ServeConfig, TileConfig};
+use exaclim_tensor::init::{randn, seeded_rng};
+use exaclim_tensor::{pool, set_kernel_threads, DType, Tensor};
+use serde_json::{json, Value};
+use std::time::{Duration, Instant};
+
+const MODEL_SEED: u64 = 42;
+const REPLICAS: usize = 2;
+
+fn build_model() -> Box<dyn Layer> {
+    let mut rng = seeded_rng(MODEL_SEED);
+    Box::new(DeepLabV3Plus::new(DeepLabConfig::tiny(4), &mut rng))
+}
+
+fn replicas() -> Vec<Box<dyn Layer>> {
+    (0..REPLICAS).map(|_| build_model()).collect()
+}
+
+/// One serving request: a half-precision 8×8 climate patch. Requests are
+/// f16 — the paper's inference precision — which also makes them the
+/// interesting batching case on this backend: every conv casts its f32
+/// master weights to the request dtype once per *forward*, so a fused
+/// batch pays the cast once where batch=1 pays it per request. That
+/// per-forward fixed cost is the CPU analogue of the kernel-launch and
+/// underutilization overhead dynamic batchers amortize on GPUs.
+fn request_input(seed: u64) -> Tensor {
+    let mut rng = seeded_rng(seed);
+    randn([1, 4, 8, 8], DType::F16, 1.0, &mut rng)
+}
+
+struct Point {
+    config: &'static str,
+    clients: usize,
+    rps: f64,
+    latency: LatencyHistogram,
+    mean_batch: f64,
+    full_flushes: u64,
+    deadline_flushes: u64,
+    queue_high: usize,
+    pool_hit_fraction: f64,
+}
+
+/// Runs `clients` closed-loop clients (submit → wait → repeat) for
+/// `n_per_client` requests each against a fresh server.
+fn run_point(
+    config: &'static str,
+    cfg: ServeConfig,
+    clients: usize,
+    n_per_client: usize,
+) -> Point {
+    let server = InferenceServer::launch(cfg, replicas());
+    // Warm the pool and the replicas outside the timed window.
+    {
+        let h = server.handle();
+        for i in 0..REPLICAS * 2 {
+            let _ = h.infer(request_input(1000 + i as u64));
+        }
+    }
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let h = server.handle();
+            let x = request_input(c as u64);
+            std::thread::spawn(move || {
+                let mut hist = LatencyHistogram::new();
+                for _ in 0..n_per_client {
+                    let t = Instant::now();
+                    let _ = h.infer(x.clone());
+                    hist.record(t.elapsed());
+                }
+                hist
+            })
+        })
+        .collect();
+    let mut latency = LatencyHistogram::new();
+    for w in workers {
+        latency.merge(&w.join().expect("client thread"));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let tm = server.shutdown();
+
+    let pool_stats = pool::stats();
+    let total_reqs = pool_stats.pool_served + pool_stats.fresh_allocs;
+    let hit = if total_reqs == 0 {
+        0.0
+    } else {
+        pool_stats.pool_served as f64 / total_reqs as f64
+    };
+    Point {
+        config,
+        clients,
+        rps: (clients * n_per_client) as f64 / wall,
+        latency,
+        mean_batch: tm.mean_batch(),
+        full_flushes: tm.replicas.iter().map(|r| r.full_flushes).sum(),
+        deadline_flushes: tm.deadline_flushes(),
+        queue_high: tm.queue_high,
+        pool_hit_fraction: hit,
+    }
+}
+
+/// Request-by-request bit-identity gate: the same inputs served through
+/// dynamic batches and through the batch=1 baseline must hash equal.
+fn assert_bit_identity(n: usize) -> bool {
+    let xs: Vec<Tensor> = (0..n).map(|i| request_input(500 + i as u64)).collect();
+
+    let base = InferenceServer::launch(ServeConfig::batch1(1), vec![build_model()]);
+    let h = base.handle();
+    let want: Vec<u64> = xs.iter().map(|x| h.infer(x.clone()).bit_hash()).collect();
+    drop(h);
+    base.shutdown();
+
+    let dyn_cfg = ServeConfig {
+        replicas: REPLICAS,
+        max_batch: 8,
+        max_delay: Duration::from_millis(5),
+        queue_cap: 64,
+    };
+    let server = InferenceServer::launch(dyn_cfg, replicas());
+    let h = server.handle();
+    let pending: Vec<_> = xs.iter().map(|x| h.submit(x.clone())).collect();
+    drop(h);
+    let got: Vec<u64> = pending.into_iter().map(|p| p.wait().bit_hash()).collect();
+    server.shutdown();
+
+    assert_eq!(got, want, "dynamic batching changed served output bits");
+    true
+}
+
+/// Tiled full-frame inference through the dynamic batcher; returns
+/// (frame_h, frame_w, tiles, wall_ms, hash) and asserts the tiled result
+/// is independent of how the batcher groups the tile windows.
+fn run_tiled(h_px: usize, w_px: usize, tile: usize, halo: usize) -> (usize, f64, u64) {
+    let mut rng = seeded_rng(77);
+    let frame = randn([1, 4, h_px, w_px], DType::F32, 1.0, &mut rng);
+    let tcfg = TileConfig::new(tile, halo);
+    let tiles = exaclim_serve::plan_tiles(h_px, w_px, &tcfg).len();
+
+    let run = |serve_cfg: ServeConfig| {
+        let server = InferenceServer::launch(serve_cfg, replicas());
+        let h = server.handle();
+        let t0 = Instant::now();
+        let out = infer_tiled(&h, &frame, &tcfg);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        drop(h);
+        server.shutdown();
+        (wall_ms, out.bit_hash())
+    };
+    let (wall_ms, hash) = run(ServeConfig {
+        replicas: REPLICAS,
+        max_batch: 8,
+        max_delay: Duration::from_millis(5),
+        queue_cap: 256,
+    });
+    let (_, hash_b1) = run(ServeConfig::batch1(REPLICAS));
+    assert_eq!(hash, hash_b1, "tiled output depends on batcher grouping");
+    (tiles, wall_ms, hash)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    set_kernel_threads(4);
+    pool::set_enabled(true);
+
+    let (loads, n_per_client) = if smoke {
+        (vec![2usize, 8], 30usize)
+    } else {
+        (vec![1usize, 4, 16], 120usize)
+    };
+
+    let dynamic = |max_batch: usize| ServeConfig {
+        replicas: REPLICAS,
+        max_batch,
+        max_delay: Duration::from_millis(2),
+        queue_cap: 256,
+    };
+
+    let bit_identical = assert_bit_identity(if smoke { 8 } else { 16 });
+
+    let mut points: Vec<Point> = Vec::new();
+    for &clients in &loads {
+        points.push(run_point("batch1", ServeConfig::batch1(REPLICAS), clients, n_per_client));
+        points.push(run_point("dynamic8", dynamic(8), clients, n_per_client));
+        if !smoke {
+            points.push(run_point("dynamic16", dynamic(16), clients, n_per_client));
+        }
+    }
+
+    // The batching-wins gate at the highest offered load.
+    let top = *loads.last().expect("loads");
+    let rps_of = |cfg: &str| {
+        points
+            .iter()
+            .find(|p| p.config == cfg && p.clients == top)
+            .expect("sweep point")
+    };
+    let (b1, d8) = (rps_of("batch1"), rps_of("dynamic8"));
+    let speedup = d8.rps / b1.rps;
+    let (b1_p99, d8_p99) = (b1.latency.p99(), d8.latency.p99());
+    println!(
+        "highest load ({top} clients): dynamic8 {:.1} rps vs batch1 {:.1} rps ({speedup:.2}x), p99 {:.3} ms vs {:.3} ms",
+        d8.rps,
+        b1.rps,
+        d8_p99.as_secs_f64() * 1e3,
+        b1_p99.as_secs_f64() * 1e3,
+    );
+    assert!(
+        speedup >= 2.0,
+        "dynamic batching must serve >= 2x batch1 requests/sec at {top} clients (got {speedup:.2}x)"
+    );
+    assert!(
+        d8_p99 <= b1_p99,
+        "dynamic batching must not worsen p99 at {top} clients ({:?} vs {:?})",
+        d8_p99,
+        b1_p99
+    );
+
+    // Tiled full-frame pass: the paper's 1152×768 frames in full mode, a
+    // proportional crop in smoke mode.
+    let (frame_h, frame_w, tile, halo) = if smoke { (96, 64, 32, 8) } else { (768, 1152, 192, 16) };
+    let (tiles, tiled_ms, tiled_hash) = run_tiled(frame_h, frame_w, tile, halo);
+    println!(
+        "tiled {frame_h}x{frame_w}: {tiles} tiles ({tile}px + {halo} halo) in {tiled_ms:.1} ms, batcher-invariant"
+    );
+
+    // Render the latency table for the swept points.
+    let labels: Vec<String> =
+        points.iter().map(|p| format!("{}@{}c", p.config, p.clients)).collect();
+    let rows: Vec<(&str, &LatencyHistogram)> =
+        labels.iter().map(|l| l.as_str()).zip(points.iter().map(|p| &p.latency)).collect();
+    println!("\n{}", render_latency_table(&rows));
+
+    let mut rows_json = Vec::new();
+    for p in &points {
+        let cfg = p.config;
+        let clients = p.clients;
+        let rps = p.rps;
+        let p50_ms = p.latency.p50().as_secs_f64() * 1e3;
+        let p99_ms = p.latency.p99().as_secs_f64() * 1e3;
+        let mean_batch = p.mean_batch;
+        let full = p.full_flushes;
+        let deadline = p.deadline_flushes;
+        let qh = p.queue_high;
+        let hit = p.pool_hit_fraction;
+        rows_json.push(json!({
+            "config": cfg,
+            "clients": clients,
+            "requests_per_sec": rps,
+            "p50_ms": p50_ms,
+            "p99_ms": p99_ms,
+            "mean_batch": mean_batch,
+            "full_flushes": full,
+            "deadline_flushes": deadline,
+            "queue_depth_high": qh,
+            "pool_hit_fraction": hit,
+        }));
+    }
+    let results = Value::Array(rows_json);
+    let (th, tw) = (frame_h, frame_w);
+    let tiled = json!({
+        "frame_h": th,
+        "frame_w": tw,
+        "tile": tile,
+        "halo": halo,
+        "tiles": tiles,
+        "wall_ms": tiled_ms,
+        "hash": tiled_hash,
+        "batcher_invariant": true,
+    });
+    let is_smoke = smoke;
+    let out = json!({
+        "bench": "serve_microbench",
+        "model": "deeplab tiny(4), f16 8x8 requests, 2 replicas",
+        "smoke": is_smoke,
+        "bit_identical_batched_vs_batch1": bit_identical,
+        "speedup_dynamic8_vs_batch1_at_top_load": speedup,
+        "points": results,
+        "tiled": tiled,
+    });
+    std::fs::write("BENCH_serve.json", serde_json::to_string_pretty(&out).expect("json"))
+        .expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -101,6 +101,12 @@ impl Layer for DenseBlock {
         y
     }
 
+    fn set_training(&mut self, training: bool) {
+        for l in self.layers.iter_mut() {
+            l.set_training(training);
+        }
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let feats = self.cached.take().expect("DenseBlock::backward before forward");
         let n_layers = self.layers.len();
@@ -329,6 +335,17 @@ impl Layer for Bottleneck {
         set
     }
 
+    fn set_training(&mut self, training: bool) {
+        self.conv1.set_training(training);
+        self.conv2.set_training(training);
+        self.conv3.set_training(training);
+        self.bn3.set_training(training);
+        if let Some((proj, projbn)) = self.shortcut.as_mut() {
+            proj.set_training(training);
+            projbn.set_training(training);
+        }
+    }
+
     fn name(&self) -> String {
         self.name.clone()
     }
@@ -439,6 +456,13 @@ impl Layer for Aspp {
         }
         set.extend(self.project.buffers());
         set
+    }
+
+    fn set_training(&mut self, training: bool) {
+        for b in self.branches.iter_mut() {
+            b.set_training(training);
+        }
+        self.project.set_training(training);
     }
 
     fn name(&self) -> String {

@@ -418,6 +418,23 @@ impl Layer for DeepLabV3Plus {
         set
     }
 
+    fn set_training(&mut self, training: bool) {
+        self.stem.set_training(training);
+        self.pool.set_training(training);
+        for b in self.stages.iter_mut() {
+            b.set_training(training);
+        }
+        self.aspp.set_training(training);
+        self.up0.set_training(training);
+        self.skip_proj.set_training(training);
+        self.ref0.set_training(training);
+        self.up1.set_training(training);
+        self.ref1.set_training(training);
+        self.up2.set_training(training);
+        self.ref2.set_training(training);
+        self.head.set_training(training);
+    }
+
     fn name(&self) -> String {
         "DeepLabv3+".into()
     }

@@ -315,6 +315,20 @@ impl Layer for Tiramisu {
         set
     }
 
+    fn set_training(&mut self, training: bool) {
+        self.stem.set_training(training);
+        for (db, td) in self.down_blocks.iter_mut().zip(self.down_transitions.iter_mut()) {
+            db.set_training(training);
+            td.set_training(training);
+        }
+        self.bottleneck.set_training(training);
+        for (tu, db) in self.up_deconvs.iter_mut().zip(self.up_blocks.iter_mut()) {
+            tu.set_training(training);
+            db.set_training(training);
+        }
+        self.head.set_training(training);
+    }
+
     fn name(&self) -> String {
         "Tiramisu".into()
     }

@@ -83,6 +83,15 @@ pub trait Layer: Send {
         ParamSet::new()
     }
 
+    /// Sets the layer's *sticky* mode flag, recursively. A layer pinned
+    /// with `set_training(false)` behaves as at inference — dropout is
+    /// identity, batch norm normalizes with running statistics — even
+    /// under a training [`Ctx`]; the effective mode is
+    /// `ctx.training && layer mode`. Serving replicas pin whole models to
+    /// eval so a mis-threaded training context can never perturb the
+    /// read path. Default: no state to flip (stateless layers).
+    fn set_training(&mut self, _training: bool) {}
+
     /// Human-readable name for architecture tables and census labels.
     fn name(&self) -> String;
 }
@@ -162,6 +171,12 @@ impl Layer for Sequential {
             set.extend(l.buffers());
         }
         set
+    }
+
+    fn set_training(&mut self, training: bool) {
+        for l in self.layers.iter_mut() {
+            l.set_training(training);
+        }
     }
 
     fn name(&self) -> String {

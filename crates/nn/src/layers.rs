@@ -180,6 +180,9 @@ pub struct BatchNorm2d {
     momentum: f32,
     eps: f32,
     cache: Option<BatchNormCache>,
+    /// Sticky mode flag ([`Layer::set_training`]): when false the layer
+    /// normalizes with running statistics even under a training ctx.
+    train_mode: bool,
 }
 
 impl BatchNorm2d {
@@ -194,6 +197,7 @@ impl BatchNorm2d {
             momentum: 0.1,
             eps: 1e-5,
             cache: None,
+            train_mode: true,
             name,
         }
     }
@@ -201,7 +205,7 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, x: &Tensor, ctx: &mut Ctx) -> Tensor {
-        if ctx.training {
+        if ctx.training && self.train_mode {
             let mut rm = self.running_mean.value().into_vec();
             let mut rv = self.running_var.value().into_vec();
             let (y, cache) = ops::batchnorm_forward(
@@ -259,6 +263,10 @@ impl Layer for BatchNorm2d {
         ParamSet::from_vec(vec![self.running_mean.clone(), self.running_var.clone()])
     }
 
+    fn set_training(&mut self, training: bool) {
+        self.train_mode = training;
+    }
+
     fn name(&self) -> String {
         self.name.clone()
     }
@@ -308,18 +316,21 @@ impl Layer for ReLU {
 pub struct Dropout {
     prob: f32,
     mask: Option<Vec<f32>>,
+    /// Sticky mode flag ([`Layer::set_training`]): when false the layer is
+    /// the identity even under a training ctx.
+    train_mode: bool,
 }
 
 impl Dropout {
     /// Dropout with the given drop probability.
     pub fn new(prob: f32) -> Dropout {
-        Dropout { prob, mask: None }
+        Dropout { prob, mask: None, train_mode: true }
     }
 }
 
 impl Layer for Dropout {
     fn forward(&mut self, x: &Tensor, ctx: &mut Ctx) -> Tensor {
-        if ctx.training && self.prob > 0.0 {
+        if ctx.training && self.train_mode && self.prob > 0.0 {
             let (y, mask) = ops::dropout_forward(x, self.prob, &mut ctx.rng);
             self.mask = Some(mask);
             y
@@ -338,6 +349,10 @@ impl Layer for Dropout {
             }
             None => grad_out.clone(),
         }
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.train_mode = training;
     }
 
     fn name(&self) -> String {
@@ -496,6 +511,37 @@ mod tests {
         assert_eq!(y.as_slice(), x.as_slice());
         let g = d.backward(&x);
         assert_eq!(g.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn set_training_false_pins_eval_under_training_ctx() {
+        let mut rng = seeded_rng(40);
+        // Dropout pinned to eval is the identity even under Ctx::train.
+        let mut d = Dropout::new(0.5);
+        d.set_training(false);
+        let x = randn([64], DType::F32, 1.0, &mut rng);
+        let mut tctx = Ctx::train(3);
+        let y = d.forward(&x, &mut tctx);
+        assert_eq!(y.as_slice(), x.as_slice());
+        // BatchNorm pinned to eval normalizes with running stats — the
+        // forward under a training ctx is bit-identical to an eval ctx and
+        // the running statistics stay untouched.
+        let mut bn = BatchNorm2d::new("bn", 2);
+        for _ in 0..5 {
+            let xb = randn([4, 2, 3, 3], DType::F32, 2.0, &mut rng);
+            let _ = bn.forward(&xb, &mut tctx);
+        }
+        bn.set_training(false);
+        let stats_before = bn.buffers().state_hash();
+        let xb = randn([2, 2, 3, 3], DType::F32, 1.0, &mut rng);
+        let y_train_ctx = bn.forward(&xb, &mut tctx);
+        let y_eval_ctx = bn.forward(&xb, &mut Ctx::eval());
+        assert_eq!(y_train_ctx.as_slice(), y_eval_ctx.as_slice());
+        assert_eq!(bn.buffers().state_hash(), stats_before, "running stats frozen in eval");
+        // Flipping back restores training behaviour (batch statistics).
+        bn.set_training(true);
+        let y_train = bn.forward(&xb, &mut tctx);
+        assert_ne!(y_train.as_slice(), y_eval_ctx.as_slice(), "train vs eval forward must diverge");
     }
 
     #[test]

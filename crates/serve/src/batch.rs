@@ -1,0 +1,96 @@
+//! Batch-axis concatenation and splitting for NCHW tensors.
+//!
+//! In NCHW layout the batch axis is outermost, so stacking requests into
+//! a fused batch is pure buffer concatenation and splitting the fused
+//! output back out is pure buffer slicing — no transposes, no layout
+//! change, no numeric effect. This is the mechanical half of the serving
+//! tier's bit-identity contract; the numeric half (kernels reduce over
+//! non-batch axes in canonical order) is the kernels' determinism
+//! contract, tested end to end in [`crate::server`].
+
+use exaclim_tensor::{pool, Tensor};
+
+/// Concatenates NCHW tensors along the batch axis. All parts must agree
+/// on dtype and on the non-batch dimensions.
+///
+/// # Panics
+/// Panics on an empty slice or any shape/dtype mismatch.
+pub fn concat_batch(parts: &[&Tensor]) -> Tensor {
+    assert!(!parts.is_empty(), "concat_batch of zero tensors");
+    let (n0, c, h, w) = parts[0].shape().nchw();
+    let dtype = parts[0].dtype();
+    let mut total_n = n0;
+    for p in &parts[1..] {
+        let (pn, pc, ph, pw) = p.shape().nchw();
+        assert!(
+            pc == c && ph == h && pw == w && p.dtype() == dtype,
+            "concat_batch mismatch: {}×{dtype:?} vs expected [_, {c}, {h}, {w}]×{:?}",
+            p.shape(),
+            dtype
+        );
+        total_n += pn;
+    }
+    let mut data = pool::take_with_capacity(total_n * c * h * w);
+    for p in parts {
+        data.extend_from_slice(p.as_slice());
+    }
+    Tensor::from_pool([total_n, c, h, w], dtype, data)
+}
+
+/// Splits an NCHW tensor into consecutive batch-axis chunks of the given
+/// sizes (the inverse of [`concat_batch`]).
+///
+/// # Panics
+/// Panics unless the sizes sum exactly to the batch dimension.
+pub fn split_batch(x: &Tensor, sizes: &[usize]) -> Vec<Tensor> {
+    let (n, c, h, w) = x.shape().nchw();
+    let total: usize = sizes.iter().sum();
+    assert_eq!(total, n, "split_batch sizes sum to {total} but batch is {n}");
+    let sample = c * h * w;
+    let xs = x.as_slice();
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut offset = 0usize;
+    for &sz in sizes {
+        let mut data = pool::take_with_capacity(sz * sample);
+        data.extend_from_slice(&xs[offset * sample..(offset + sz) * sample]);
+        out.push(Tensor::from_pool([sz, c, h, w], x.dtype(), data));
+        offset += sz;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaclim_tensor::init::{randn, seeded_rng};
+    use exaclim_tensor::DType;
+
+    #[test]
+    fn concat_then_split_roundtrips() {
+        let mut rng = seeded_rng(3);
+        let a = randn([1, 2, 3, 4], DType::F32, 1.0, &mut rng);
+        let b = randn([2, 2, 3, 4], DType::F32, 1.0, &mut rng);
+        let c = randn([1, 2, 3, 4], DType::F32, 1.0, &mut rng);
+        let fused = concat_batch(&[&a, &b, &c]);
+        assert_eq!(fused.shape().dims(), &[4, 2, 3, 4]);
+        let parts = split_batch(&fused, &[1, 2, 1]);
+        assert_eq!(parts[0].bit_hash(), a.bit_hash());
+        assert_eq!(parts[1].bit_hash(), b.bit_hash());
+        assert_eq!(parts[2].bit_hash(), c.bit_hash());
+    }
+
+    #[test]
+    #[should_panic(expected = "concat_batch mismatch")]
+    fn mismatched_spatial_dims_panic() {
+        let a = Tensor::zeros([1, 2, 3, 4], DType::F32);
+        let b = Tensor::zeros([1, 2, 3, 5], DType::F32);
+        concat_batch(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_batch sizes")]
+    fn bad_split_sizes_panic() {
+        let x = Tensor::zeros([3, 1, 2, 2], DType::F32);
+        split_batch(&x, &[1, 1]);
+    }
+}

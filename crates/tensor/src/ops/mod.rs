@@ -22,7 +22,7 @@ pub use deconv::{deconv2d_backward, deconv2d_forward, Deconv2dParams};
 pub use fused::{conv2d_forward_fused, Epilogue};
 pub use gemm::{compute_precision, gemm, set_compute_precision, ComputePrecision};
 pub use interp::{bilinear_resize_backward, bilinear_resize_forward};
-pub use layout::{nchw_to_nhwc, nhwc_to_nchw};
+pub use layout::{crop_spatial, nchw_to_nhwc, nhwc_to_nchw, paste_spatial};
 pub use norm::{batchnorm_backward, batchnorm_forward, BatchNormCache};
 pub use pointwise::{
     add, add_bias_, add_bias_nchw, bias_grad_nchw, concat_channels, dropout_backward,

@@ -43,13 +43,27 @@ const NUM_CLASSES: usize = 48;
 
 struct FreeLists {
     classes: Vec<Mutex<Vec<Vec<f32>>>>,
+    counters: Vec<ClassCounters>,
 }
 
 fn free_lists() -> &'static FreeLists {
     static LISTS: OnceLock<FreeLists> = OnceLock::new();
     LISTS.get_or_init(|| FreeLists {
         classes: (0..NUM_CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
+        counters: (0..NUM_CLASSES).map(|_| ClassCounters::default()).collect(),
     })
+}
+
+/// Per-size-class telemetry. All counters use relaxed atomics: they are
+/// statistics, not synchronization — the free lists themselves are guarded
+/// by their mutexes.
+#[derive(Default)]
+struct ClassCounters {
+    served: AtomicU64,
+    fresh: AtomicU64,
+    recycled: AtomicU64,
+    dropped: AtomicU64,
+    resident_high: AtomicU64,
 }
 
 // --- telemetry --------------------------------------------------------------
@@ -119,6 +133,107 @@ pub fn stats() -> PoolStats {
         outstanding_bytes: OUTSTANDING_BYTES.load(Ordering::Relaxed),
         high_water_bytes: HIGH_WATER_BYTES.load(Ordering::Relaxed),
     }
+}
+
+/// Telemetry for one size class (requests of `(2^(class-1), 2^class]`
+/// elements). Counters are monotonic since process start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Size-class index: requests draw buffers of `2^class` elements.
+    pub class: usize,
+    /// Largest request this class serves, in elements (`2^class`).
+    pub max_elems: usize,
+    /// Requests satisfied from this class's free list (hits).
+    pub served: u64,
+    /// Requests that fell through to the system allocator (misses).
+    pub fresh: u64,
+    /// Buffers returned to this class's free list.
+    pub recycled: u64,
+    /// Returned buffers freed instead of retained.
+    pub dropped: u64,
+    /// Buffers currently resident in the free list.
+    pub resident: usize,
+    /// Most buffers ever resident at once (the class's high-water mark).
+    pub resident_high: u64,
+}
+
+impl ClassStats {
+    /// Hit fraction of this class's requests, in `[0, 1]`.
+    pub fn hit_fraction(&self) -> f64 {
+        let total = self.served + self.fresh;
+        if total == 0 {
+            0.0
+        } else {
+            self.served as f64 / total as f64
+        }
+    }
+}
+
+/// A cheap point-in-time view of the whole pool: the global counters plus
+/// per-size-class hit/miss/high-water telemetry. Taking one is a handful
+/// of relaxed atomic loads plus one brief lock per *active* class, so
+/// serve replicas can snapshot around every request batch and report pool
+/// contention per batch via [`PoolSnapshot::since`].
+#[derive(Debug, Clone, Default)]
+pub struct PoolSnapshot {
+    /// Global counters (same as [`stats`]).
+    pub totals: PoolStats,
+    /// Per-class telemetry, ascending by class, classes with activity only.
+    pub classes: Vec<ClassStats>,
+}
+
+impl PoolSnapshot {
+    /// Counter deltas since an earlier snapshot. `resident`,
+    /// `resident_high`, `outstanding_bytes` and `high_water_bytes` report
+    /// the later absolute values (they are levels, not flows).
+    pub fn since(&self, earlier: &PoolSnapshot) -> PoolSnapshot {
+        let base: std::collections::BTreeMap<usize, &ClassStats> =
+            earlier.classes.iter().map(|c| (c.class, c)).collect();
+        PoolSnapshot {
+            totals: self.totals.since(&earlier.totals),
+            classes: self
+                .classes
+                .iter()
+                .map(|c| {
+                    let e = base.get(&c.class).copied();
+                    ClassStats {
+                        served: c.served - e.map_or(0, |e| e.served),
+                        fresh: c.fresh - e.map_or(0, |e| e.fresh),
+                        recycled: c.recycled - e.map_or(0, |e| e.recycled),
+                        dropped: c.dropped - e.map_or(0, |e| e.dropped),
+                        ..*c
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Takes a [`PoolSnapshot`]: global counters plus per-class telemetry.
+pub fn snapshot() -> PoolSnapshot {
+    let lists = free_lists();
+    let mut classes = Vec::new();
+    for (class, ctr) in lists.counters.iter().enumerate() {
+        let served = ctr.served.load(Ordering::Relaxed);
+        let fresh = ctr.fresh.load(Ordering::Relaxed);
+        let recycled = ctr.recycled.load(Ordering::Relaxed);
+        let dropped = ctr.dropped.load(Ordering::Relaxed);
+        let resident_high = ctr.resident_high.load(Ordering::Relaxed);
+        if served + fresh + recycled + dropped + resident_high == 0 {
+            continue;
+        }
+        classes.push(ClassStats {
+            class,
+            max_elems: 1usize << class.min(usize::BITS as usize - 1),
+            served,
+            fresh,
+            recycled,
+            dropped,
+            resident: lists.classes[class].lock().len(),
+            resident_high,
+        });
+    }
+    PoolSnapshot { totals: stats(), classes }
 }
 
 // --- enable gate ------------------------------------------------------------
@@ -191,6 +306,17 @@ fn note_taken(n: usize) {
     HIGH_WATER_BYTES.fetch_max(out, Ordering::Relaxed);
 }
 
+/// Files a request of `n` elements under its size class's hit or miss
+/// counter (out-of-range classes are uncounted, matching [`pop`]).
+fn note_class_request(n: usize, served: bool) {
+    let class = class_for_request(n);
+    if class < NUM_CLASSES {
+        let ctr = &free_lists().counters[class];
+        let counter = if served { &ctr.served } else { &ctr.fresh };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Fresh empty buffer whose capacity is rounded up to the request
 /// class's power of two, so that when it is later recycled it files into
 /// exactly the class requests of this size draw from. Without the
@@ -231,6 +357,7 @@ pub fn take_filled(n: usize, fill: f32) -> Vec<f32> {
         Some(mut v) => {
             POOL_SERVED.fetch_add(1, Ordering::Relaxed);
             BYTES_REUSED.fetch_add((n * 4) as u64, Ordering::Relaxed);
+            note_class_request(n, true);
             v.clear();
             v.resize(n, fill);
             v
@@ -238,6 +365,7 @@ pub fn take_filled(n: usize, fill: f32) -> Vec<f32> {
         None => {
             FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES_FRESH.fetch_add((n * 4) as u64, Ordering::Relaxed);
+            note_class_request(n, false);
             let mut v = fresh_with_class_capacity(n);
             v.resize(n, fill);
             v
@@ -263,12 +391,14 @@ pub fn take_with_capacity(n: usize) -> Vec<f32> {
         Some(mut v) => {
             POOL_SERVED.fetch_add(1, Ordering::Relaxed);
             BYTES_REUSED.fetch_add((n * 4) as u64, Ordering::Relaxed);
+            note_class_request(n, true);
             v.clear();
             v
         }
         None => {
             FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES_FRESH.fetch_add((n * 4) as u64, Ordering::Relaxed);
+            note_class_request(n, false);
             fresh_with_class_capacity(n)
         }
     }
@@ -301,14 +431,22 @@ pub fn recycle(mut v: Vec<f32>) {
         DROPPED.fetch_add(1, Ordering::Relaxed);
         return;
     }
-    let mut list = free_lists().classes[class].lock();
+    let lists = free_lists();
+    let mut list = lists.classes[class].lock();
     if list.len() >= MAX_PER_CLASS {
+        drop(list);
         DROPPED.fetch_add(1, Ordering::Relaxed);
+        lists.counters[class].dropped.fetch_add(1, Ordering::Relaxed);
         return;
     }
     v.clear();
     list.push(v);
+    let resident = list.len() as u64;
+    drop(list);
     RECYCLED.fetch_add(1, Ordering::Relaxed);
+    let ctr = &lists.counters[class];
+    ctr.recycled.fetch_add(1, Ordering::Relaxed);
+    ctr.resident_high.fetch_max(resident, Ordering::Relaxed);
 }
 
 // --- pooled tensor storage --------------------------------------------------
@@ -580,6 +718,48 @@ mod tests {
         let after = stats();
         assert_eq!(after.recycled - before.recycled, 1);
         assert_eq!(copy.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn snapshot_reports_per_class_hits_and_misses() {
+        let _g = GUARD.lock();
+        set_enabled(true);
+        trim();
+        let before = snapshot();
+        // Miss (nothing resident after trim), recycle, then hit.
+        let v = take_zeroed(600); // class 10 (1024 elems)
+        recycle(v);
+        let w = take_zeroed(700); // same class: must hit
+        let after = snapshot().since(&before);
+        let c10 = after.classes.iter().find(|c| c.class == 10).expect("class 10 active");
+        assert_eq!(c10.max_elems, 1024);
+        assert!(c10.fresh >= 1, "first request misses");
+        assert!(c10.served >= 1, "second request hits");
+        assert!(c10.recycled >= 1);
+        assert!(c10.resident_high >= 1);
+        assert!(c10.hit_fraction() > 0.0 && c10.hit_fraction() < 1.0);
+        recycle(w);
+        // The later absolute resident count is visible after the recycle.
+        let now = snapshot();
+        let c10 = now.classes.iter().find(|c| c.class == 10).expect("class 10");
+        assert!(c10.resident >= 1);
+    }
+
+    #[test]
+    fn snapshot_is_consistent_with_global_stats() {
+        let _g = GUARD.lock();
+        set_enabled(true);
+        trim();
+        let before = snapshot();
+        let bufs: Vec<Vec<f32>> = (0..4).map(|i| take_zeroed(128 << i)).collect();
+        for b in bufs {
+            recycle(b);
+        }
+        let d = snapshot().since(&before);
+        let class_requests: u64 = d.classes.iter().map(|c| c.served + c.fresh).sum();
+        assert_eq!(class_requests, d.totals.total_requests(), "per-class counters cover every request");
+        let class_recycles: u64 = d.classes.iter().map(|c| c.recycled).sum();
+        assert_eq!(class_recycles, d.totals.recycled);
     }
 
     #[test]

@@ -239,7 +239,7 @@ pub fn start() {
         shard.lock().clear();
     }
     *POOL_AT_START.lock() = Some(crate::pool::stats());
-    ENABLED.store(true, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::Relaxed);
 }
 
 /// Stops recording and returns the collected census.
@@ -249,7 +249,7 @@ pub fn start() {
 /// the thread that invoked the op), so a single-threaded census region
 /// yields exactly the sequential record order.
 pub fn stop() -> Profile {
-    ENABLED.store(false, Ordering::SeqCst);
+    ENABLED.store(false, Ordering::Relaxed);
     let mut prof = Profile::default();
     for shard in SHARDS.lock().iter() {
         prof.records.append(&mut shard.lock());
@@ -397,7 +397,7 @@ static TIMELINE_EPOCH: Mutex<Option<Instant>> = Mutex::new(None);
 pub fn timeline_start() {
     TIMELINE.lock().clear();
     *TIMELINE_EPOCH.lock() = Some(Instant::now());
-    TIMELINE_ON.store(true, Ordering::SeqCst);
+    TIMELINE_ON.store(true, Ordering::Relaxed);
 }
 
 /// True while a timeline is being recorded.
@@ -409,7 +409,7 @@ pub fn timeline_active() -> bool {
 /// Stops timeline recording and returns the collected spans (in recording
 /// order per thread; sort by `start_s` for a global view).
 pub fn timeline_stop() -> Vec<SpanRecord> {
-    TIMELINE_ON.store(false, Ordering::SeqCst);
+    TIMELINE_ON.store(false, Ordering::Relaxed);
     *TIMELINE_EPOCH.lock() = None;
     std::mem::take(&mut TIMELINE.lock())
 }

@@ -102,7 +102,7 @@ fn force_scalar_flag() -> &'static AtomicBool {
 /// this trades wall time, never numerics. Prefer `EXACLIM_SIMD=0` for
 /// whole-process configuration.
 pub fn set_simd_enabled(on: bool) {
-    force_scalar_flag().store(!on, Ordering::SeqCst);
+    force_scalar_flag().store(!on, Ordering::Relaxed);
 }
 
 /// True when vector paths are active (hardware supports them and neither

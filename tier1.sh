@@ -43,3 +43,10 @@ cargo run --release -q -p exaclim-bench --bin elastic_microbench -- --smoke
 # The kernel microbenchmark's smoke mode asserts the SIMD GEMM is
 # bit-identical to the scalar route and no slower than it.
 cargo run --release -q -p exaclim-bench --bin kernel_microbench -- --smoke
+
+# The serving microbenchmark's smoke mode asserts the serving tier's
+# contract: outputs served through dynamic batches are bit-identical to
+# the batch=1 baseline, and dynamic batching serves >= 2x the
+# requests/sec at equal-or-better p99 under the highest swept load.
+# Writes BENCH_serve.json.
+cargo run --release -q -p exaclim-bench --bin serve_microbench -- --smoke
