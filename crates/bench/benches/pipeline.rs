@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use exaclim_climsim::dataset::DatasetConfig;
 use exaclim_climsim::ClimateDataset;
 use exaclim_pipeline::prefetch::{PrefetchConfig, PrefetchQueue, ReaderMode};
-use exaclim_pipeline::{ChannelStats, ShardSampler};
+use exaclim_pipeline::{ChannelStats, SampleSampler};
 use exaclim_tensor::DType;
 use std::sync::Arc;
 use std::time::Duration;
@@ -20,7 +20,7 @@ fn dataset() -> Arc<ClimateDataset> {
 
 fn consume(ds: &Arc<ClimateDataset>, cfg: PrefetchConfig, n: usize) {
     let stats = ChannelStats::estimate(ds, 1).expect("stats");
-    let sampler = ShardSampler::for_rank(ds.len(), 0, 4, 7);
+    let sampler = SampleSampler::for_rank(ds.len(), 0, 4, 7);
     let q = PrefetchQueue::start(ds.clone(), sampler, stats, cfg);
     for _ in 0..n {
         let _ = q.next();

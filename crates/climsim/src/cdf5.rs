@@ -101,6 +101,10 @@ pub struct Cdf5Reader {
     pub h: usize,
     /// Grid width.
     pub w: usize,
+    /// Raw-byte staging area reused across reads, so a long-lived reader
+    /// (one per streaming ingest worker) performs no per-sample heap
+    /// allocation.
+    scratch: Vec<u8>,
 }
 
 impl Cdf5Reader {
@@ -126,7 +130,7 @@ impl Cdf5Reader {
         let channels = buf.get_u32_le() as usize;
         let h = buf.get_u32_le() as usize;
         let w = buf.get_u32_le() as usize;
-        Ok(Cdf5Reader { file, n_samples, channels, h, w })
+        Ok(Cdf5Reader { file, n_samples, channels, h, w, scratch: Vec::new() })
     }
 
     fn sample_bytes(&self) -> u64 {
@@ -135,6 +139,22 @@ impl Cdf5Reader {
 
     /// Reads sample `i`.
     pub fn read_sample(&mut self, i: usize) -> io::Result<StoredSample> {
+        let mut fields = Vec::new();
+        let mut labels = Vec::new();
+        self.read_sample_into(i, &mut fields, &mut labels)?;
+        Ok(StoredSample { fields, labels })
+    }
+
+    /// Reads sample `i` into caller-provided buffers (cleared and filled)
+    /// — the zero-fresh-allocation path the streaming ingest workers use
+    /// with pooled buffers. One seek + one contiguous read per sample;
+    /// consecutive indices read sequentially.
+    pub fn read_sample_into(
+        &mut self,
+        i: usize,
+        fields: &mut Vec<f32>,
+        labels: &mut Vec<u8>,
+    ) -> io::Result<()> {
         if i >= self.n_samples {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -144,16 +164,19 @@ impl Cdf5Reader {
         self.file
             .seek(SeekFrom::Start(HEADER_LEN + i as u64 * self.sample_bytes()))?;
         let nfield = self.channels * self.h * self.w;
-        let mut raw = vec![0u8; nfield * 4];
-        self.file.read_exact(&mut raw)?;
-        let mut fields = Vec::with_capacity(nfield);
-        let mut buf = &raw[..];
+        let hw = self.h * self.w;
+        self.scratch.clear();
+        self.scratch.resize(nfield * 4 + hw, 0);
+        self.file.read_exact(&mut self.scratch)?;
+        fields.clear();
+        fields.reserve(nfield);
+        let mut buf = &self.scratch[..nfield * 4];
         for _ in 0..nfield {
             fields.push(buf.get_f32_le());
         }
-        let mut labels = vec![0u8; self.h * self.w];
-        self.file.read_exact(&mut labels)?;
-        Ok(StoredSample { fields, labels })
+        labels.clear();
+        labels.extend_from_slice(&self.scratch[nfield * 4..]);
+        Ok(())
     }
 
     /// Total payload size of the file in bytes (used by staging models).

@@ -57,6 +57,9 @@ pub struct ClimateDataset {
     /// Grid width.
     pub w: usize,
     n_samples: usize,
+    /// Samples per chunk — the file granularity on disk, and the unit of
+    /// the ingest subsystem's hierarchical shuffle for both backends.
+    chunk: usize,
 }
 
 impl ClimateDataset {
@@ -77,6 +80,7 @@ impl ClimateDataset {
             h: config.generator.h,
             w: config.generator.w,
             n_samples: config.n_samples,
+            chunk: config.samples_per_file.max(1),
         }
     }
 
@@ -107,6 +111,7 @@ impl ClimateDataset {
             h: config.generator.h,
             w: config.generator.w,
             n_samples: config.n_samples,
+            chunk: config.samples_per_file.max(1),
         })
     }
 
@@ -140,6 +145,31 @@ impl ClimateDataset {
         }
     }
 
+    /// Samples per chunk (the on-disk file granularity; in-memory datasets
+    /// keep the same logical chunking so shuffles are backend-invariant).
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// Number of chunks (the last may be partial).
+    pub fn n_chunks(&self) -> usize {
+        self.n_samples.div_ceil(self.chunk)
+    }
+
+    /// Global index range `[start, end)` of chunk `c`.
+    pub fn chunk_bounds(&self, c: usize) -> (usize, usize) {
+        let start = c * self.chunk;
+        (start, (start + self.chunk).min(self.n_samples))
+    }
+
+    /// Opens a cursor for sequential streaming reads. The cursor keeps the
+    /// current CDF5 file open across calls, so walking a chunk costs one
+    /// file open (not one per sample) and reuses the reader's scratch
+    /// buffer — the access pattern the ingest workers drive.
+    pub fn open_cursor(&self) -> DatasetCursor<'_> {
+        DatasetCursor { dataset: self, open: None }
+    }
+
     /// The split a global index belongs to. Deterministic and interleaved
     /// (every 10th sample is test, every following one validation) so all
     /// splits cover the same climate statistics.
@@ -168,6 +198,48 @@ impl ClimateDataset {
             total += s.labels.len() as u64;
         }
         Ok(counts.into_iter().map(|c| c as f32 / total.max(1) as f32).collect())
+    }
+}
+
+/// A streaming read handle over a [`ClimateDataset`] that caches the open
+/// CDF5 reader for the file it last touched. Consecutive reads within one
+/// chunk hit the cached reader; crossing a chunk boundary swaps files.
+pub struct DatasetCursor<'a> {
+    dataset: &'a ClimateDataset,
+    open: Option<(usize, Cdf5Reader)>,
+}
+
+impl DatasetCursor<'_> {
+    /// Reads global sample `i` into caller-provided buffers (cleared and
+    /// filled). No fresh heap allocation on the steady-state path: the
+    /// in-memory backend copies slices, the disk backend decodes through
+    /// the cached reader's scratch buffer.
+    pub fn read_into(
+        &mut self,
+        i: usize,
+        fields: &mut Vec<f32>,
+        labels: &mut Vec<u8>,
+    ) -> io::Result<()> {
+        assert!(i < self.dataset.n_samples, "sample {i} out of range {}", self.dataset.n_samples);
+        match &self.dataset.backend {
+            Backend::Memory(samples) => {
+                let s = &samples[i];
+                fields.clear();
+                fields.extend_from_slice(&s.fields);
+                labels.clear();
+                labels.extend_from_slice(&s.labels);
+                Ok(())
+            }
+            Backend::Disk { files, per_file } => {
+                let file_idx = i / per_file;
+                let reuse = matches!(&self.open, Some((idx, _)) if *idx == file_idx);
+                if !reuse {
+                    self.open = Some((file_idx, Cdf5Reader::open(&files[file_idx])?));
+                }
+                let (_, reader) = self.open.as_mut().expect("cursor reader just installed");
+                reader.read_sample_into(i % per_file, fields, labels)
+            }
+        }
     }
 }
 
@@ -213,6 +285,46 @@ mod tests {
         let sum: f32 = f.iter().sum();
         assert!((sum - 1.0).abs() < 1e-5);
         assert!(f[0] > 0.8, "background dominates: {f:?}");
+    }
+
+    #[test]
+    fn cursor_agrees_with_random_access_on_both_backends() {
+        let mut cfg = DatasetConfig::small(7, 9);
+        cfg.generator.h = 16;
+        cfg.generator.w = 24;
+        cfg.samples_per_file = 4;
+        let mem = ClimateDataset::in_memory(&cfg);
+        let dir = std::env::temp_dir().join(format!("exaclim_cursor_{}", std::process::id()));
+        let disk = ClimateDataset::on_disk(&cfg, &dir).expect("on_disk");
+        let mut mem_cur = mem.open_cursor();
+        let mut disk_cur = disk.open_cursor();
+        let (mut fields, mut labels) = (Vec::new(), Vec::new());
+        // Sequential then out-of-order, forcing both reuse and file swaps.
+        for &i in &[0usize, 1, 2, 3, 4, 8, 5, 0, 7] {
+            let want = mem.sample(i).expect("sample");
+            mem_cur.read_into(i, &mut fields, &mut labels).expect("mem cursor");
+            assert_eq!(fields, want.fields, "mem fields {i}");
+            assert_eq!(labels, want.labels, "mem labels {i}");
+            disk_cur.read_into(i, &mut fields, &mut labels).expect("disk cursor");
+            assert_eq!(fields, want.fields, "disk fields {i}");
+            assert_eq!(labels, want.labels, "disk labels {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunk_metadata_covers_all_samples() {
+        let cfg = DatasetConfig::small(3, 10); // 4/file → chunks of 4, 4, 2
+        let ds = ClimateDataset::in_memory(&cfg);
+        assert_eq!(ds.chunk_size(), 4);
+        assert_eq!(ds.n_chunks(), 3);
+        assert_eq!(ds.chunk_bounds(0), (0, 4));
+        assert_eq!(ds.chunk_bounds(2), (8, 10));
+        let covered: usize = (0..ds.n_chunks()).map(|c| {
+            let (s, e) = ds.chunk_bounds(c);
+            e - s
+        }).sum();
+        assert_eq!(covered, ds.len());
     }
 
     #[test]

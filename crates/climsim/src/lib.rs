@@ -36,7 +36,7 @@ pub mod storms;
 pub use cdf5::{Cdf5Reader, Cdf5Writer};
 pub use sequence::SequenceGenerator;
 pub use storms::{analyze_storms, summarize, Storm, StormSummary};
-pub use dataset::{ClimateDataset, DatasetConfig, Split};
+pub use dataset::{ClimateDataset, DatasetConfig, DatasetCursor, Split};
 pub use fields::{ClimateSample, FieldGenerator, GeneratorConfig};
 pub use label::{heuristic_labels, LabelerConfig};
 

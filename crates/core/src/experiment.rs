@@ -8,10 +8,14 @@ use exaclim_models::{DeepLabConfig, DeepLabV3Plus, Tiramisu, TiramisuConfig, NUM
 use exaclim_nn::loss::{class_weights, pixel_weight_map, ClassWeighting, Labels};
 use exaclim_nn::metrics::{argmax_channels, ConfusionMatrix};
 use exaclim_nn::{Ctx, Layer};
-use exaclim_pipeline::{Augmentation, ChannelStats, ShardSampler};
-use exaclim_tensor::{DType, Tensor};
+use exaclim_pipeline::{
+    ChannelStats, IngestStream, PrefetchConfig, ReaderMode, StreamConfig, StreamingIngest,
+};
+use exaclim_staging::IngestFeed;
+use exaclim_tensor::{pool, DType, Tensor};
 use std::io;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which architecture to train.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,115 +96,140 @@ impl ExperimentConfig {
     }
 }
 
-/// Per-rank batch source over a node-local shard (mirrors staging: every
-/// rank holds an independent pseudo-random shard).
+/// Per-rank batch source over a node-local shard, fed by the streaming
+/// ingest engine: the shard comes from the staging plan ([`IngestFeed`],
+/// mirroring §V-A1 node-local staging), samples arrive through
+/// backpressured sharded readers in the bit-reproducible hierarchical
+/// shuffle order, augmentation runs in-stream on raw fields, and batch
+/// assembly draws its storage from the tensor pool.
 pub struct ClimateBatchSource {
-    dataset: Arc<ClimateDataset>,
-    sampler: ShardSampler,
-    stats: Arc<ChannelStats>,
-    channels: Vec<usize>,
-    weights: Vec<f32>,
+    stream: StreamingIngest,
+    feed: IngestFeed,
+    /// Training-split indices; the staging plan speaks in positions within
+    /// this list, the dataset in global indices.
+    train: Vec<usize>,
+    n_channels: usize,
+    h: usize,
+    w: usize,
     dtype: DType,
     local_batch: usize,
-    /// Indices (within `channels`) of meridional-wind components, used by
-    /// the latitude-mirror augmentation; `None` disables augmentation.
-    augment_meridional: Option<Vec<usize>>,
-    augment_rng: rand::rngs::StdRng,
+    autoscale: bool,
 }
 
 impl ClimateBatchSource {
-    /// Builds rank `rank`'s source over the training split.
+    /// Builds rank `rank`'s source (of `ranks` total) over the training
+    /// split. `augment` enables the label-preserving augmentations
+    /// (longitude roll + latitude mirror with meridional sign flips),
+    /// applied in-stream on raw fields before normalization.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         dataset: Arc<ClimateDataset>,
         stats: Arc<ChannelStats>,
         rank: usize,
+        ranks: usize,
         samples_per_rank: usize,
         channels: Vec<usize>,
         weights: Vec<f32>,
         dtype: DType,
         local_batch: usize,
         seed: u64,
+        augment: bool,
     ) -> ClimateBatchSource {
         let train = dataset.indices(Split::Train);
-        let mut rng = exaclim_tensor::init::seeded_rng(seed ^ (rank as u64).wrapping_mul(0x51ed));
-        let take = samples_per_rank.min(train.len());
-        let shard: Vec<usize> = rand::seq::index::sample(&mut rng, train.len(), take)
-            .into_iter()
-            .map(|i| train[i])
-            .collect();
-        ClimateBatchSource {
+        let per = samples_per_rank.min(train.len()).max(1);
+        let feed = IngestFeed::build(train.len(), ranks.max(1), rank, per, seed);
+        let shard: Vec<usize> = feed.shard().iter().map(|&i| train[i]).collect();
+        let meridional: Vec<usize> = if augment {
+            exaclim_pipeline::augment::MERIDIONAL_CHANNELS
+                .iter()
+                .filter_map(|n| exaclim_climsim::channel_index(n))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let n_channels = channels.len();
+        let (h, w) = (dataset.h, dataset.w);
+        let chunk_size = dataset.chunk_size();
+        let stream = StreamingIngest::start(
             dataset,
-            sampler: ShardSampler::new(shard, seed ^ 0xBEEF ^ rank as u64),
-            stats,
-            channels,
-            weights,
+            shard,
+            (*stats).clone(),
+            StreamConfig {
+                prefetch: PrefetchConfig {
+                    workers: 1,
+                    depth: local_batch.max(2) * 2,
+                    mode: ReaderMode::PerWorker,
+                    read_cost: Duration::ZERO,
+                    channels,
+                    class_weights: weights,
+                    dtype,
+                },
+                seed: seed ^ 0x57EA ^ (rank as u64).wrapping_mul(0x9E37_79B9),
+                chunk_size,
+                augment,
+                meridional,
+            },
+        );
+        ClimateBatchSource {
+            stream,
+            feed,
+            train,
+            n_channels,
+            h,
+            w,
             dtype,
             local_batch,
-            augment_meridional: None,
-            augment_rng: exaclim_tensor::init::seeded_rng(seed ^ 0xA06 ^ (rank as u64) << 8),
+            autoscale: true,
         }
     }
 
-    /// Enables the label-preserving augmentations (longitude roll and
-    /// latitude mirror with meridional-wind sign flips).
-    pub fn with_augmentation(mut self) -> ClimateBatchSource {
-        let meridional: Vec<usize> = self
-            .channels
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| {
-                exaclim_pipeline::augment::MERIDIONAL_CHANNELS
-                    .iter()
-                    .any(|n| exaclim_climsim::channel_index(n) == Some(c))
-            })
-            .map(|(i, _)| i)
-            .collect();
-        self.augment_meridional = Some(meridional);
+    /// Disables the exposed-I/O reader autoscaler (fixed one worker) —
+    /// used by benches that sweep worker counts explicitly.
+    pub fn without_autoscaling(mut self) -> ClimateBatchSource {
+        self.autoscale = false;
         self
+    }
+
+    /// Current reader-worker count.
+    pub fn workers(&self) -> usize {
+        self.stream.workers()
     }
 }
 
 impl BatchSource for ClimateBatchSource {
     fn next_batch(&mut self) -> Batch {
-        let (h, w) = (self.dataset.h, self.dataset.w);
-        let hw = h * w;
+        let hw = self.h * self.w;
         let n = self.local_batch;
-        let mut data = Vec::with_capacity(n * self.channels.len() * hw);
+        let mut data = pool::take_with_capacity(n * self.n_channels * hw);
         let mut labels = Vec::with_capacity(n * hw);
         let mut weights = Vec::with_capacity(n * hw);
         for _ in 0..n {
-            let idx = self.sampler.next_index();
-            let stored = self.dataset.sample(idx).expect("dataset read");
-            // Select raw channels, augment (sign flips act on *raw* wind
-            // values, before normalization shifts the zero), then
-            // normalize.
-            let mut sel = Vec::with_capacity(self.channels.len() * hw);
-            for &c in &self.channels {
-                sel.extend_from_slice(&stored.fields[c * hw..(c + 1) * hw]);
-            }
-            let (sel, lab) = match &self.augment_meridional {
-                Some(meridional) => {
-                    let aug = Augmentation::sample(w, &mut self.augment_rng);
-                    (
-                        aug.apply_sample(&sel, self.channels.len(), h, w, meridional),
-                        aug.apply_mask(&stored.labels, h, w),
-                    )
-                }
-                None => (sel, stored.labels.clone()),
-            };
-            for (i, &c) in self.channels.iter().enumerate() {
-                for &v in &sel[i * hw..(i + 1) * hw] {
-                    data.push(self.stats.normalize(c, v));
-                }
-            }
-            weights.extend(lab.iter().map(|&l| self.weights[l as usize]));
-            labels.extend(lab);
+            let s = self.stream.next_sample();
+            data.extend_from_slice(s.input.as_slice());
+            labels.extend_from_slice(s.labels.as_slice());
+            weights.extend_from_slice(&s.weights);
         }
         Batch {
-            input: Tensor::from_vec([n, self.channels.len(), h, w], self.dtype, data),
-            labels: Labels::new(n, h, w, labels),
+            input: Tensor::from_pool([n, self.n_channels, self.h, self.w], self.dtype, data),
+            labels: Labels::new(n, self.h, self.w, labels),
             weights,
+        }
+    }
+
+    fn on_generation(&mut self, _generation: u64, members: &[usize]) {
+        // Deterministic elastic re-shard: every surviving rank computes the
+        // same post-churn staging plan, and the stream rebuilds the current
+        // epoch over the new shard — sequence depends only on (seed, churn
+        // history), never on timing or worker count.
+        let shard = self.feed.on_generation_change(members);
+        let mapped: Vec<usize> = shard.iter().map(|&i| self.train[i]).collect();
+        self.stream.reshard(mapped);
+    }
+
+    fn on_step_timing(&mut self, ingest_wait: Duration, step_wall: Duration) {
+        if self.autoscale {
+            let w = PrefetchConfig::auto_workers_for_io(self.stream.workers(), ingest_wait, step_wall);
+            self.stream.set_workers(w);
         }
     }
 }
@@ -283,23 +312,21 @@ pub fn run_experiment(config: &ExperimentConfig) -> io::Result<ExperimentResult>
     let precision = trainer_cfg.precision;
     let seed = trainer_cfg.seed;
     let augment = config.augment;
+    let ranks = trainer_cfg.ranks;
     let (report, mut model) = train_data_parallel(&trainer_cfg, model_builder, move |rank| {
-        let src = ClimateBatchSource::new(
+        ClimateBatchSource::new(
             ds.clone(),
             st.clone(),
             rank,
+            ranks,
             spr,
             channels.clone(),
             wts.clone(),
             precision,
             1,
             seed,
-        );
-        if augment {
-            src.with_augmentation()
-        } else {
-            src
-        }
+            augment,
+        )
     });
 
     let validation = evaluate_model(
@@ -340,26 +367,64 @@ mod tests {
         assert_eq!(result.validation.class_iou.len(), 3);
     }
 
-    #[test]
-    fn batch_source_shapes() {
+    fn source(augment: bool) -> ClimateBatchSource {
         let cfg = ExperimentConfig::quick(ModelKind::DeepLab);
         let ds = Arc::new(ClimateDataset::in_memory(&cfg.dataset));
         let stats = Arc::new(ChannelStats::estimate(&ds, 2).expect("stats"));
-        let mut src = ClimateBatchSource::new(
-            ds.clone(),
+        ClimateBatchSource::new(
+            ds,
             stats,
             0,
+            2,
             4,
             vec![0, 1, 2, 7],
             vec![1.0, 2.0, 3.0],
             DType::F32,
             2,
             9,
-        );
+            augment,
+        )
+    }
+
+    #[test]
+    fn batch_source_shapes() {
+        let mut src = source(false);
         let b = src.next_batch();
         assert_eq!(b.input.shape().dims(), &[2, 4, 24, 32]);
         assert_eq!(b.labels.numel(), 2 * 24 * 32);
         assert_eq!(b.weights.len(), 2 * 24 * 32);
+    }
+
+    #[test]
+    fn batches_replay_identically_across_autoscaling() {
+        // Two identical sources; one gets a fake exposed-I/O signal that
+        // doubles its reader count mid-stream. The batch sequence must not
+        // notice — autoscaling may change throughput, never content.
+        let mut a = source(true);
+        let mut b = source(true);
+        let (ba, bb) = (a.next_batch(), b.next_batch());
+        assert_eq!(ba.input.as_slice(), bb.input.as_slice());
+        b.on_step_timing(Duration::from_millis(50), Duration::from_millis(100));
+        for _ in 0..3 {
+            let (ba, bb) = (a.next_batch(), b.next_batch());
+            assert_eq!(ba.input.as_slice(), bb.input.as_slice());
+            assert_eq!(ba.weights, bb.weights);
+        }
+    }
+
+    #[test]
+    fn generation_change_reshards_deterministically() {
+        // Same churn event on two replicas of the same rank → identical
+        // post-churn batches (every survivor recomputes the same plan).
+        let mut a = source(false);
+        let mut b = source(false);
+        let _ = (a.next_batch(), b.next_batch());
+        a.on_generation(1, &[0, 2, 3]);
+        b.on_generation(1, &[3, 2, 0]);
+        for _ in 0..2 {
+            let (ba, bb) = (a.next_batch(), b.next_batch());
+            assert_eq!(ba.input.as_slice(), bb.input.as_slice());
+        }
     }
 
     #[test]

@@ -783,6 +783,9 @@ impl<B: BatchSource> Member<B> {
             }
         }
         self.configure(comm);
+        // Let the batch source follow the membership change (streaming
+        // sources re-shard deterministically on this hook).
+        self.source.on_generation(self.view.generation, &self.view.members.clone());
         Ok(())
     }
 
@@ -1000,7 +1003,17 @@ impl<B: BatchSource> Member<B> {
     fn train_step(&mut self, step: usize) -> Result<f32, CommError> {
         let n = self.view.members.len();
         let idx = self.idx();
+        let t0 = Instant::now();
+        let ti = Instant::now();
         let batch = self.source.next_batch();
+        let ingest_wait = ti.elapsed();
+        profile::record_span(
+            idx,
+            step,
+            profile::SpanKind::Ingest,
+            ti,
+            ingest_wait.as_secs_f64(),
+        );
         let input = if batch.input.dtype() == self.cfg.base.precision {
             batch.input
         } else {
@@ -1054,6 +1067,7 @@ impl<B: BatchSource> Member<B> {
         if hbuf != mine {
             self.hashes_ok = false;
         }
+        self.source.on_step_timing(ingest_wait, t0.elapsed());
         Ok(mean_loss)
     }
 

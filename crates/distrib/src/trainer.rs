@@ -40,6 +40,17 @@ pub trait BatchSource: Send {
     /// The next local batch (ranks draw disjoint or independently-sampled
     /// shards, per the staging design of §V-A1).
     fn next_batch(&mut self) -> Batch;
+
+    /// Elastic-generation hook: called after the rank joins a new world
+    /// generation, with the surviving member ids. Streaming sources
+    /// re-shard deterministically here; the default is a no-op.
+    fn on_generation(&mut self, _generation: u64, _members: &[usize]) {}
+
+    /// Per-step timing feedback: how long this step's critical path
+    /// waited on `next_batch` (exposed ingest) and the step's wall time.
+    /// Streaming sources feed this to prefetch autoscaling
+    /// (`PrefetchConfig::auto_workers_for_io`); the default is a no-op.
+    fn on_step_timing(&mut self, _ingest_wait: Duration, _step_wall: Duration) {}
 }
 
 /// Optimizer selection for the distributed trainer.
@@ -214,6 +225,10 @@ pub struct TrainingReport {
     /// all-reducing / scattering gradients, wherever it ran. The spread
     /// between this and `exposed_comm_s_per_step` is what backward hid.
     pub comm_busy_s_per_step: f64,
+    /// Mean seconds per step rank 0's critical path spent blocked on the
+    /// input pipeline (the `next_batch` pull) — near zero when prefetch
+    /// keeps up, and the signal prefetch autoscaling consumes.
+    pub ingest_wait_s_per_step: f64,
 }
 
 /// Runs synchronous data-parallel training. Returns the report and the
@@ -294,6 +309,7 @@ where
         step_hashes: std::mem::take(&mut results[0].step_hashes),
         exposed_comm_s_per_step: per_step(results[0].exposed_comm_s),
         comm_busy_s_per_step: per_step(results[0].comm_busy_s),
+        ingest_wait_s_per_step: per_step(results[0].ingest_wait_s),
     };
     let model = results.swap_remove(0).model;
     (report, model)
@@ -309,6 +325,7 @@ struct RankResult {
     step_hashes: Vec<u64>,
     exposed_comm_s: f64,
     comm_busy_s: f64,
+    ingest_wait_s: f64,
     model: Box<dyn Layer>,
 }
 
@@ -371,6 +388,7 @@ where
     let mut wire_bytes = 0u64;
     let mut exposed_comm_s = 0.0f64;
     let mut comm_busy_s = 0.0f64;
+    let mut ingest_wait_s = 0.0f64;
 
     // Agree on an all-reduce order despite per-rank scheduling skew. The
     // coordination round proves agreement and liveness (and its message
@@ -392,7 +410,11 @@ where
 
     for step in 0..cfg.steps {
         let t0 = Instant::now();
+        let ti = Instant::now();
         let batch = source.next_batch();
+        let ingest_wait = ti.elapsed();
+        profile::record_span(rank, step, SpanKind::Ingest, ti, ingest_wait.as_secs_f64());
+        ingest_wait_s += ingest_wait.as_secs_f64();
         let input = if batch.input.dtype() == cfg.precision {
             batch.input
         } else {
@@ -469,6 +491,7 @@ where
         if hbuf != mine {
             hashes_ok = false;
         }
+        source.on_step_timing(ingest_wait, t0.elapsed());
         wall_times.push(t0.elapsed().as_secs_f64());
     }
 
@@ -482,6 +505,7 @@ where
         step_hashes,
         exposed_comm_s,
         comm_busy_s,
+        ingest_wait_s,
         model,
     })
 }

@@ -102,6 +102,13 @@ impl LatencyHistogram {
         Duration::from_nanos((self.sum_ns / self.count as u128) as u64)
     }
 
+    /// Exact sum of all recorded samples — lets callers that previously
+    /// kept an ad-hoc atomic nanosecond total (the pipeline's wait
+    /// counters) migrate without losing the aggregate.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.min(u64::MAX as u128) as u64)
+    }
+
     /// Smallest recorded sample (exact), or zero when empty.
     pub fn min(&self) -> Duration {
         if self.count == 0 {

@@ -34,6 +34,7 @@ pub use latency::{render_latency_row, render_latency_table, LatencyHistogram};
 pub use report::{fig2_row, fig2_table, fig3_table, render_alloc_traffic, Fig2Row, Fig3Row};
 pub use scaling::{fig4_series, fig5_series, ScalingSeries};
 pub use timeline::{
-    mean_exposed_s, mean_overlap_fraction, render_step_timeline, step_timeline, StepOverlapRow,
+    mean_exposed_s, mean_ingest_s, mean_overlap_fraction, render_step_timeline, step_timeline,
+    StepOverlapRow,
 };
 pub use tts::{time_to_solution, TimeToSolution};

@@ -29,9 +29,31 @@ pub struct StepOverlapRow {
     pub comm_exposed_s: f64,
     /// Optimizer seconds.
     pub optimizer_s: f64,
+    /// Seconds the rank's critical path waited on the input pipeline (the
+    /// blocking batch pull) — the exposed-I/O number that drives prefetch
+    /// autoscaling.
+    pub ingest_s: f64,
     /// Fraction of comm-busy time hidden behind backward, in `[0, 1]`:
     /// `(comm_busy − comm_exposed) / comm_busy`, `0` when no comm ran.
     pub overlap_fraction: f64,
+}
+
+impl StepOverlapRow {
+    /// Total step wall time accounted by the timeline's phases.
+    pub fn accounted_s(&self) -> f64 {
+        self.forward_s + self.backward_s + self.comm_exposed_s + self.optimizer_s + self.ingest_s
+    }
+
+    /// Fraction of the accounted step the critical path spent waiting on
+    /// ingest, in `[0, 1]` — the signal a well-fed pipeline keeps near 0.
+    pub fn ingest_fraction(&self) -> f64 {
+        let total = self.accounted_s();
+        if total > 0.0 {
+            (self.ingest_s / total).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Folds raw timeline spans into per-(rank, step) rows, ordered by rank
@@ -47,6 +69,7 @@ pub fn step_timeline(spans: &[SpanRecord]) -> Vec<StepOverlapRow> {
             comm_busy_s: 0.0,
             comm_exposed_s: 0.0,
             optimizer_s: 0.0,
+            ingest_s: 0.0,
             overlap_fraction: 0.0,
         });
         match s.kind {
@@ -55,6 +78,7 @@ pub fn step_timeline(spans: &[SpanRecord]) -> Vec<StepOverlapRow> {
             SpanKind::CommBusy => row.comm_busy_s += s.dur_s,
             SpanKind::CommExposed => row.comm_exposed_s += s.dur_s,
             SpanKind::Optimizer => row.optimizer_s += s.dur_s,
+            SpanKind::Ingest => row.ingest_s += s.dur_s,
         }
     }
     let mut rows: Vec<StepOverlapRow> = acc.into_values().collect();
@@ -82,21 +106,31 @@ pub fn mean_overlap_fraction(rows: &[StepOverlapRow]) -> f64 {
     rows.iter().map(|r| r.overlap_fraction).sum::<f64>() / rows.len() as f64
 }
 
+/// Mean exposed-ingest seconds per step across the given rows — what
+/// `exaclim_pipeline`'s `auto_workers_for_io` consumes.
+pub fn mean_ingest_s(rows: &[StepOverlapRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.ingest_s).sum::<f64>() / rows.len() as f64
+}
+
 /// Renders the per-step timeline as a table (times in milliseconds).
 pub fn render_step_timeline(rows: &[StepOverlapRow]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "{:>4} {:>4} {:>10} {:>10} {:>10} {:>12} {:>10} {:>8}",
-        "rank", "step", "fwd ms", "bwd ms", "busy ms", "exposed ms", "opt ms", "overlap"
+        "{:>4} {:>4} {:>10} {:>10} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "rank", "step", "ingest ms", "fwd ms", "bwd ms", "busy ms", "exposed ms", "opt ms", "overlap"
     );
     for r in rows {
         let _ = writeln!(
             s,
-            "{:>4} {:>4} {:>10.3} {:>10.3} {:>10.3} {:>12.3} {:>10.3} {:>7.0}%",
+            "{:>4} {:>4} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>12.3} {:>10.3} {:>7.0}%",
             r.rank,
             r.step,
+            r.ingest_s * 1e3,
             r.forward_s * 1e3,
             r.backward_s * 1e3,
             r.comm_busy_s * 1e3,
@@ -173,5 +207,24 @@ mod tests {
         let rows = step_timeline(&spans);
         assert!((mean_exposed_s(&rows) - 0.002).abs() < 1e-12);
         assert!(mean_overlap_fraction(&rows) > 0.0);
+    }
+
+    #[test]
+    fn ingest_spans_fold_into_their_own_column() {
+        let spans = vec![
+            span(0, 0, SpanKind::Ingest, 0.006),
+            span(0, 0, SpanKind::Ingest, 0.002),
+            span(0, 0, SpanKind::Forward, 0.010),
+            span(0, 0, SpanKind::Backward, 0.012),
+            span(0, 1, SpanKind::Forward, 0.010),
+        ];
+        let rows = step_timeline(&spans);
+        assert!((rows[0].ingest_s - 0.008).abs() < 1e-12);
+        assert_eq!(rows[1].ingest_s, 0.0);
+        assert!((mean_ingest_s(&rows) - 0.004).abs() < 1e-12);
+        let frac = rows[0].ingest_fraction();
+        assert!((frac - 0.008 / 0.030).abs() < 1e-9, "ingest share of the accounted step: {frac}");
+        let text = render_step_timeline(&rows);
+        assert!(text.contains("ingest ms"));
     }
 }

@@ -43,20 +43,39 @@ impl Augmentation {
         }
     }
 
+    /// Deterministic augmentation for position `p` of epoch `e` under
+    /// `seed`, derived by hashing rather than RNG draw history — the same
+    /// `(seed, epoch, position)` always yields the same transform, no
+    /// matter which ingest worker computes it.
+    pub fn at_position(w: usize, seed: u64, epoch: u64, position: u64) -> Augmentation {
+        let h = crate::sampler::mix64(seed ^ 0xA06_3E27)
+            ^ crate::sampler::mix64(epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ position);
+        let h = crate::sampler::mix64(h);
+        Augmentation { roll: (h as usize) % w.max(1), flip_lat: (h >> 63) & 1 == 1 }
+    }
+
     /// Applies to one scalar field (row-major `h×w`), flipping sign when
     /// `flip_sign` (meridional winds under a latitude mirror).
     pub fn apply_field(&self, field: &[f32], h: usize, w: usize, flip_sign: bool) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.apply_field_into(field, h, w, flip_sign, &mut out);
+        out
+    }
+
+    /// [`Augmentation::apply_field`] into a caller-provided buffer
+    /// (appended; callers clear first for a standalone field) — the
+    /// allocation-free path the streaming ingest workers use.
+    pub fn apply_field_into(&self, field: &[f32], h: usize, w: usize, flip_sign: bool, out: &mut Vec<f32>) {
         assert_eq!(field.len(), h * w);
-        let mut out = vec![0.0f32; h * w];
         let sign = if self.flip_lat && flip_sign { -1.0 } else { 1.0 };
+        out.reserve(h * w);
         for y in 0..h {
             let src_y = if self.flip_lat { h - 1 - y } else { y };
             for x in 0..w {
                 let src_x = (x + w - self.roll % w) % w;
-                out[y * w + x] = sign * field[src_y * w + src_x];
+                out.push(sign * field[src_y * w + src_x]);
             }
         }
-        out
     }
 
     /// Applies to a label mask congruently.
@@ -83,13 +102,28 @@ impl Augmentation {
         w: usize,
         meridional: &[usize],
     ) -> Vec<f32> {
-        assert_eq!(fields.len(), channels * h * w);
         let mut out = Vec::with_capacity(fields.len());
+        self.apply_sample_into(fields, channels, h, w, meridional, &mut out);
+        out
+    }
+
+    /// [`Augmentation::apply_sample`] into a caller-provided buffer
+    /// (cleared and filled).
+    pub fn apply_sample_into(
+        &self,
+        fields: &[f32],
+        channels: usize,
+        h: usize,
+        w: usize,
+        meridional: &[usize],
+        out: &mut Vec<f32>,
+    ) {
+        assert_eq!(fields.len(), channels * h * w);
+        out.clear();
         for c in 0..channels {
             let flip_sign = meridional.contains(&c);
-            out.extend(self.apply_field(&fields[c * h * w..(c + 1) * h * w], h, w, flip_sign));
+            self.apply_field_into(&fields[c * h * w..(c + 1) * h * w], h, w, flip_sign, out);
         }
-        out
     }
 }
 
@@ -156,6 +190,29 @@ mod tests {
         assert_eq!(&out[4..8], &[-7.0, -8.0, -5.0, -6.0]);
         // Channel 2 mirrored, positive.
         assert_eq!(&out[8..12], &[11.0, 12.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn position_hash_is_deterministic_and_varies() {
+        let a = Augmentation::at_position(64, 5, 0, 0);
+        assert_eq!(a, Augmentation::at_position(64, 5, 0, 0));
+        let others: Vec<Augmentation> = (0..16).map(|p| Augmentation::at_position(64, 5, 0, p)).collect();
+        assert!(others.iter().any(|b| *b != a), "positions should vary transforms");
+        assert_ne!(
+            Augmentation::at_position(64, 5, 1, 0),
+            Augmentation::at_position(64, 5, 2, 0),
+            "epochs should vary transforms (probabilistically; fixed seeds here)"
+        );
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let (c, h, w) = (3, 4, 6);
+        let fields: Vec<f32> = (0..c * h * w).map(|i| i as f32 * 0.25 - 3.0).collect();
+        let a = Augmentation { roll: 2, flip_lat: true };
+        let mut out = vec![99.0; 5]; // stale contents must be discarded
+        a.apply_sample_into(&fields, c, h, w, &[1], &mut out);
+        assert_eq!(out, a.apply_sample(&fields, c, h, w, &[1]));
     }
 
     #[test]

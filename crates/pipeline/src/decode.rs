@@ -1,9 +1,15 @@
 //! Sample decoding: stored fields → normalized training tensors plus the
 //! CPU-computed per-pixel loss-weight map (§V-B1).
+//!
+//! Decode output lives in pool-recycled buffers: the input tensor's
+//! storage, the label bytes and the weight map are all drawn from
+//! `exaclim_tensor::pool` free lists and return there when the consumer
+//! drops the sample — the steady-state ingest loop performs zero fresh
+//! heap allocations once the pool is warm.
 
-use exaclim_climsim::cdf5::StoredSample;
 use exaclim_climsim::ClimateDataset;
-use exaclim_tensor::{DType, Tensor};
+use exaclim_tensor::pool::{self, PoolBuf};
+use exaclim_tensor::{DType, PooledBytes, Tensor};
 
 /// Per-channel normalization statistics.
 #[derive(Debug, Clone)]
@@ -48,26 +54,33 @@ impl ChannelStats {
     }
 }
 
-/// A decoded training sample.
+/// A decoded training sample. All payload buffers are pool-backed and
+/// recycle on drop.
 #[derive(Debug, Clone)]
 pub struct DecodedSample {
+    /// Global dataset index this sample was read from — the consumed
+    /// stream of these indices is what the reproducibility hash covers.
+    pub index: usize,
     /// Normalized input fields `[1, C, H, W]`.
     pub input: Tensor,
     /// Per-pixel class labels (row-major, `h·w`).
-    pub labels: Vec<u8>,
+    pub labels: PooledBytes,
     /// Per-pixel loss weights.
-    pub weights: Vec<f32>,
+    pub weights: PoolBuf,
     /// Grid height.
     pub h: usize,
     /// Grid width.
     pub w: usize,
 }
 
-/// Decodes a stored sample: channel selection, normalization, and the
-/// per-pixel weight map.
+/// Decodes raw sample buffers: channel selection, normalization, and the
+/// per-pixel weight map. `raw_fields`/`raw_labels` are borrowed (typically
+/// a reader's reused scratch buffers); the output owns pooled copies.
 #[allow(clippy::too_many_arguments)]
 pub fn decode(
-    stored: &StoredSample,
+    index: usize,
+    raw_fields: &[f32],
+    raw_labels: &[u8],
     channels: &[usize],
     all_channels: usize,
     h: usize,
@@ -77,24 +90,22 @@ pub fn decode(
     dtype: DType,
 ) -> DecodedSample {
     let hw = h * w;
-    assert_eq!(stored.fields.len(), all_channels * hw, "field size mismatch");
-    assert_eq!(stored.labels.len(), hw, "label size mismatch");
-    let mut data = Vec::with_capacity(channels.len() * hw);
+    assert_eq!(raw_fields.len(), all_channels * hw, "field size mismatch");
+    assert_eq!(raw_labels.len(), hw, "label size mismatch");
+    let mut data = pool::take_with_capacity(channels.len() * hw);
     for &c in channels {
-        for &v in &stored.fields[c * hw..(c + 1) * hw] {
+        for &v in &raw_fields[c * hw..(c + 1) * hw] {
             data.push(stats.normalize(c, v));
         }
     }
     let input = Tensor::from_vec([1, channels.len(), h, w], dtype, data);
-    let weights = stored
-        .labels
-        .iter()
-        .map(|&l| class_weights[l as usize])
-        .collect();
+    let mut wts = pool::take_with_capacity(hw);
+    wts.extend(raw_labels.iter().map(|&l| class_weights[l as usize]));
     DecodedSample {
+        index,
         input,
-        labels: stored.labels.clone(),
-        weights,
+        labels: PooledBytes::copy_of(raw_labels),
+        weights: PoolBuf::from_vec(wts),
         h,
         w,
     }
@@ -116,7 +127,6 @@ mod tests {
     fn stats_normalize_to_zero_mean_unit_std() {
         let ds = tiny();
         let stats = ChannelStats::estimate(&ds, 4).expect("stats");
-        let s = ds.sample(0).expect("sample");
         let hw = ds.h * ds.w;
         // Channel 0 normalized over the estimation set: near 0-mean.
         let mut acc = 0.0f64;
@@ -127,7 +137,6 @@ mod tests {
             }
         }
         assert!((acc / (4 * hw) as f64).abs() < 0.05);
-        let _ = s;
     }
 
     #[test]
@@ -136,7 +145,9 @@ mod tests {
         let stats = ChannelStats::estimate(&ds, 2).expect("stats");
         let stored = ds.sample(1).expect("sample");
         let dec = decode(
-            &stored,
+            1,
+            &stored.fields,
+            &stored.labels,
             &[0, 7],
             16,
             ds.h,
@@ -145,6 +156,7 @@ mod tests {
             &[1.0, 30.0, 8.0],
             DType::F32,
         );
+        assert_eq!(dec.index, 1);
         assert_eq!(dec.input.shape().dims(), &[1, 2, 16, 24]);
         assert_eq!(dec.weights.len(), 16 * 24);
         // Weight map mirrors labels.
@@ -152,6 +164,7 @@ mod tests {
             let expect = [1.0, 30.0, 8.0][l as usize];
             assert_eq!(dec.weights[i], expect);
         }
+        assert_eq!(dec.labels.as_slice(), &stored.labels[..]);
     }
 
     #[test]
@@ -159,7 +172,48 @@ mod tests {
         let ds = tiny();
         let stats = ChannelStats::estimate(&ds, 1).expect("stats");
         let stored = ds.sample(0).expect("sample");
-        let dec = decode(&stored, &[0], 16, ds.h, ds.w, &stats, &[1.0, 1.0, 1.0], DType::F16);
+        let dec = decode(
+            0,
+            &stored.fields,
+            &stored.labels,
+            &[0],
+            16,
+            ds.h,
+            ds.w,
+            &stats,
+            &[1.0, 1.0, 1.0],
+            DType::F16,
+        );
         assert_eq!(dec.input.dtype(), DType::F16);
+    }
+
+    #[test]
+    fn decode_is_allocation_free_once_pool_is_warm() {
+        pool::set_enabled(true);
+        let ds = tiny();
+        let stats = ChannelStats::estimate(&ds, 1).expect("stats");
+        let stored = ds.sample(0).expect("sample");
+        let run = || {
+            decode(
+                0,
+                &stored.fields,
+                &stored.labels,
+                &[0, 1, 2, 7],
+                16,
+                ds.h,
+                ds.w,
+                &stats,
+                &[1.0, 2.0, 3.0],
+                DType::F32,
+            )
+        };
+        drop(run()); // warm the size classes
+        let f32_before = pool::stats();
+        let byte_before = pool::byte_stats();
+        for _ in 0..8 {
+            drop(run());
+        }
+        assert_eq!(pool::stats().since(&f32_before).fresh_allocs, 0, "f32 path allocated");
+        assert_eq!(pool::byte_stats().since(&byte_before).fresh_allocs, 0, "label path allocated");
     }
 }

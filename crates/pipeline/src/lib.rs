@@ -1,6 +1,7 @@
 //! # exaclim-pipeline
 //!
-//! The optimized input pipeline of §V-A2.
+//! The optimized input pipeline of §V-A2, grown into a streaming,
+//! backpressured, bit-reproducible ingest subsystem.
 //!
 //! TensorFlow's default placement puts input processing on the training
 //! critical path; the paper's fixes — reproduced here — are:
@@ -14,19 +15,26 @@
 //!   `PerWorker` (each worker owns an independent reader, the
 //!   `multiprocessing` fix).
 //!
-//! [`decode`] turns stored samples into normalized training tensors with
-//! the per-pixel loss-weight map computed CPU-side (§V-B1), [`sampler`]
-//! provides the per-rank shard shuffling that makes local batches
-//! statistically global (§V-A1), and [`augment`] adds the two
-//! label-preserving global-field augmentations (longitude roll, latitude
-//! mirror with meridional-wind sign flips).
+//! The engine underneath is [`stream::StreamingIngest`]: sharded reader
+//! tasks stream whole CDF5 chunks through bounded per-worker channels,
+//! decode into pool-recycled buffers (zero steady-state allocations), and
+//! follow the pure hierarchical shuffle of [`sampler::epoch_permutation`]
+//! — so the consumed sample sequence is bit-identical at any worker count
+//! and across elastic re-shards. [`decode`] turns raw sample buffers into
+//! normalized training tensors with the per-pixel loss-weight map computed
+//! CPU-side (§V-B1), [`sampler`] provides the per-rank shard shuffling
+//! that makes local batches statistically global (§V-A1), and [`augment`]
+//! adds the two label-preserving global-field augmentations (longitude
+//! roll, latitude mirror with meridional-wind sign flips).
 
 pub mod augment;
 pub mod decode;
 pub mod prefetch;
 pub mod sampler;
+pub mod stream;
 
 pub use augment::Augmentation;
 pub use decode::{ChannelStats, DecodedSample};
-pub use prefetch::{PipelineStats, PrefetchQueue, ReaderMode};
-pub use sampler::ShardSampler;
+pub use prefetch::{PipelineStats, PrefetchConfig, PrefetchQueue, ReaderMode};
+pub use sampler::{epoch_permutation, sequence_hash, SampleSampler};
+pub use stream::{IngestStream, StreamConfig, StreamingIngest};

@@ -10,17 +10,22 @@
 //!   (TensorFlow threads + libhdf5); with [`ReaderMode::PerWorker`], each
 //!   worker owns an independent reader (the Python `multiprocessing`
 //!   workaround), so reads genuinely overlap.
+//!
+//! [`PrefetchQueue`] is now a thin façade over the streaming engine in
+//! [`crate::stream`]: same constructor and `next()` shape as the old
+//! pull-per-sample queue, but fed by sharded readers with a
+//! bit-reproducible order and pool-recycled buffers.
 
-use crate::decode::{decode, ChannelStats, DecodedSample};
-use crate::sampler::ShardSampler;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
+use crate::decode::{ChannelStats, DecodedSample};
+use crate::sampler::SampleSampler;
+use crate::stream::{IngestStream, StreamConfig, StreamingIngest};
 use exaclim_climsim::ClimateDataset;
+use exaclim_perfmodel::LatencyHistogram;
 use exaclim_tensor::DType;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Reader-concurrency mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,8 +45,10 @@ pub struct PrefetchConfig {
     pub depth: usize,
     /// Reader concurrency mode.
     pub mode: ReaderMode,
-    /// Artificial per-read cost, standing in for HDF5 decode time of a
-    /// 56.6 MB paper-scale sample (tiny test grids read in microseconds).
+    /// Artificial per-read-operation cost, standing in for HDF5 open +
+    /// decode overhead of a 56.6 MB paper-scale sample (tiny test grids
+    /// read in microseconds). The streaming readers pay it once per chunk
+    /// run; the legacy pull model paid it once per sample.
     pub read_cost: Duration,
     /// Channels to keep (e.g. all 16, or the 4-channel Daint subset).
     pub channels: Vec<usize>,
@@ -62,15 +69,39 @@ impl PrefetchConfig {
     pub fn auto_workers() -> usize {
         rayon::current_num_threads().max(1)
     }
+
+    /// Worker count adjusted by the exposed-I/O feedback loop: given the
+    /// time a step's critical path waited on ingest versus the step wall
+    /// time, grow aggressively (double) while ingest is exposed above 10 %
+    /// of the step, shrink by one once it falls below 2 %, and stay put in
+    /// between. Clamped to `[1, auto_workers()]`. Pure — autoscaling
+    /// decisions are reproducible from the recorded timings.
+    pub fn auto_workers_for_io(current: usize, ingest_wait: Duration, step_wall: Duration) -> usize {
+        let cap = PrefetchConfig::auto_workers();
+        let current = current.clamp(1, cap.max(1));
+        if step_wall.is_zero() {
+            return current;
+        }
+        let exposed = ingest_wait.as_secs_f64() / step_wall.as_secs_f64();
+        if exposed > 0.10 {
+            (current * 2).min(cap)
+        } else if exposed < 0.02 {
+            (current - 1).max(1)
+        } else {
+            current
+        }
+    }
 }
 
-/// Live pipeline counters.
-#[derive(Debug, Default)]
+/// Live pipeline counters. Durations are recorded into mergeable
+/// [`LatencyHistogram`]s, so consumers get p50/p99 alongside the totals
+/// the old atomic counters provided.
+#[derive(Default)]
 pub struct PipelineStats {
     produced: AtomicU64,
     consumed: AtomicU64,
-    consumer_wait_ns: AtomicU64,
-    read_ns: AtomicU64,
+    consumer_wait: Mutex<LatencyHistogram>,
+    read: Mutex<LatencyHistogram>,
 }
 
 impl PipelineStats {
@@ -86,128 +117,121 @@ impl PipelineStats {
 
     /// Total time the consumer spent blocked on an empty queue.
     pub fn consumer_wait(&self) -> Duration {
-        Duration::from_nanos(self.consumer_wait_ns.load(Ordering::Relaxed))
+        self.consumer_wait.lock().total()
     }
 
-    /// Total wall time spent inside (possibly locked) reads.
+    /// Total wall time spent inside (possibly locked) read operations.
     pub fn read_time(&self) -> Duration {
-        Duration::from_nanos(self.read_ns.load(Ordering::Relaxed))
+        self.read.lock().total()
+    }
+
+    /// Median consumer wait per pull.
+    pub fn wait_p50(&self) -> Duration {
+        self.consumer_wait.lock().p50()
+    }
+
+    /// 99th-percentile consumer wait per pull — the ingest tail the step
+    /// timeline's p99 column reports.
+    pub fn wait_p99(&self) -> Duration {
+        self.consumer_wait.lock().p99()
+    }
+
+    /// Median read-operation latency.
+    pub fn read_p50(&self) -> Duration {
+        self.read.lock().p50()
+    }
+
+    /// 99th-percentile read-operation latency.
+    pub fn read_p99(&self) -> Duration {
+        self.read.lock().p99()
+    }
+
+    /// Snapshot of the consumer-wait histogram (mergeable across ranks).
+    pub fn wait_histogram(&self) -> LatencyHistogram {
+        self.consumer_wait.lock().clone()
+    }
+
+    /// Snapshot of the read-operation histogram.
+    pub fn read_histogram(&self) -> LatencyHistogram {
+        self.read.lock().clone()
+    }
+
+    pub(crate) fn note_produced(&self) {
+        self.produced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_consumed(&self) {
+        self.consumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_wait(&self, d: Duration) {
+        self.consumer_wait.lock().record(d);
+    }
+
+    pub(crate) fn record_read(&self, d: Duration) {
+        self.read.lock().record(d);
     }
 }
 
-/// A background-filled sample queue.
+impl std::fmt::Debug for PipelineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineStats")
+            .field("produced", &self.produced())
+            .field("consumed", &self.consumed())
+            .field("consumer_wait", &self.consumer_wait())
+            .field("read_time", &self.read_time())
+            .finish()
+    }
+}
+
+/// A background-filled sample queue (façade over [`StreamingIngest`]).
 pub struct PrefetchQueue {
-    rx: Receiver<DecodedSample>,
+    inner: Mutex<StreamingIngest>,
     stats: Arc<PipelineStats>,
-    stop: Arc<AtomicBool>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl PrefetchQueue {
-    /// Starts `config.workers` background readers over `sampler`.
+    /// Starts `config.workers` background readers over `sampler`'s shard,
+    /// with the sampler's seed and chunking driving the reproducible
+    /// hierarchical shuffle.
     pub fn start(
         dataset: Arc<ClimateDataset>,
-        sampler: ShardSampler,
+        sampler: SampleSampler,
         stats_src: ChannelStats,
         config: PrefetchConfig,
     ) -> PrefetchQueue {
         assert!(config.workers >= 1, "need at least one worker");
-        let (tx, rx) = bounded(config.depth.max(1));
-        let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(PipelineStats::default());
-        let sampler = Arc::new(Mutex::new(sampler));
-        let shared_reader_lock = Arc::new(Mutex::new(()));
-        let stats_src = Arc::new(stats_src);
-
-        let workers = (0..config.workers)
-            .map(|_| {
-                let dataset = dataset.clone();
-                let sampler = sampler.clone();
-                let tx = tx.clone();
-                let stop = stop.clone();
-                let stats = stats.clone();
-                let cfg = config.clone();
-                let lock = shared_reader_lock.clone();
-                let norm = stats_src.clone();
-                std::thread::spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
-                        let idx = sampler.lock().next_index();
-                        let t0 = Instant::now();
-                        let stored = match cfg.mode {
-                            ReaderMode::SharedLocked => {
-                                // The HDF5 global lock: reads serialize.
-                                let _g = lock.lock();
-                                if !cfg.read_cost.is_zero() {
-                                    std::thread::sleep(cfg.read_cost);
-                                }
-                                dataset.sample(idx)
-                            }
-                            ReaderMode::PerWorker => {
-                                if !cfg.read_cost.is_zero() {
-                                    std::thread::sleep(cfg.read_cost);
-                                }
-                                dataset.sample(idx)
-                            }
-                        }
-                        .expect("dataset read");
-                        stats.read_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        let decoded = decode(
-                            &stored,
-                            &cfg.channels,
-                            dataset.channels,
-                            dataset.h,
-                            dataset.w,
-                            &norm,
-                            &cfg.class_weights,
-                            cfg.dtype,
-                        );
-                        // Blocking send with stop polling.
-                        let mut item = decoded;
-                        loop {
-                            match tx.send_timeout(item, Duration::from_millis(20)) {
-                                Ok(()) => {
-                                    stats.produced.fetch_add(1, Ordering::Relaxed);
-                                    break;
-                                }
-                                Err(crossbeam::channel::SendTimeoutError::Timeout(back)) => {
-                                    if stop.load(Ordering::Relaxed) {
-                                        return;
-                                    }
-                                    item = back;
-                                }
-                                Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => return,
-                            }
-                        }
-                    }
-                })
-            })
-            .collect();
-
-        PrefetchQueue {
-            rx,
-            stats,
-            stop,
-            workers,
-        }
+        let stream = StreamingIngest::start(
+            dataset,
+            sampler.shard().to_vec(),
+            stats_src,
+            StreamConfig {
+                prefetch: config,
+                seed: sampler.seed(),
+                chunk_size: sampler.chunk_size(),
+                augment: false,
+                meridional: Vec::new(),
+            },
+        );
+        let stats = stream.stats();
+        PrefetchQueue { inner: Mutex::new(stream), stats }
     }
 
     /// Takes the next prefetched sample (blocks if the queue is empty,
     /// accumulating consumer-wait time — the "GPU idle" signal).
     pub fn next(&self) -> DecodedSample {
-        let t0 = Instant::now();
-        loop {
-            match self.rx.recv_timeout(Duration::from_millis(50)) {
-                Ok(s) => {
-                    self.stats
-                        .consumer_wait_ns
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    self.stats.consumed.fetch_add(1, Ordering::Relaxed);
-                    return s;
-                }
-                Err(RecvTimeoutError::Timeout) => continue,
-                Err(RecvTimeoutError::Disconnected) => panic!("all pipeline workers exited"),
-            }
-        }
+        self.inner.lock().next_sample()
+    }
+
+    /// Changes the reader-worker count in place (autoscaling); the sample
+    /// sequence is unaffected.
+    pub fn set_workers(&self, workers: usize) {
+        self.inner.lock().set_workers(workers);
+    }
+
+    /// Current reader-worker count.
+    pub fn workers(&self) -> usize {
+        self.inner.lock().workers()
     }
 
     /// Live counters.
@@ -216,21 +240,11 @@ impl PrefetchQueue {
     }
 }
 
-impl Drop for PrefetchQueue {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Drain so writers blocked on a full queue can observe `stop`.
-        while self.rx.try_recv().is_ok() {}
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use exaclim_climsim::dataset::DatasetConfig;
+    use std::time::Instant;
 
     fn tiny_dataset() -> Arc<ClimateDataset> {
         let mut cfg = DatasetConfig::small(40, 6);
@@ -259,10 +273,26 @@ mod tests {
     }
 
     #[test]
+    fn auto_workers_for_io_grows_and_shrinks() {
+        let step = Duration::from_millis(100);
+        // Heavily exposed ingest: double.
+        let grown = PrefetchConfig::auto_workers_for_io(1, Duration::from_millis(50), step);
+        assert_eq!(grown, 2.min(PrefetchConfig::auto_workers()));
+        // Negligible ingest: shrink by one, floored at 1.
+        assert_eq!(PrefetchConfig::auto_workers_for_io(2, Duration::ZERO, step), 1);
+        assert_eq!(PrefetchConfig::auto_workers_for_io(1, Duration::ZERO, step), 1);
+        // In the dead band: hold.
+        assert_eq!(
+            PrefetchConfig::auto_workers_for_io(2, Duration::from_millis(5), step),
+            2.min(PrefetchConfig::auto_workers())
+        );
+    }
+
+    #[test]
     fn queue_produces_decoded_samples() {
         let ds = tiny_dataset();
         let stats = ChannelStats::estimate(&ds, 2).expect("stats");
-        let sampler = ShardSampler::for_rank(ds.len(), 0, 4, 1);
+        let sampler = SampleSampler::for_rank(ds.len(), 0, 4, 1);
         let q = PrefetchQueue::start(ds.clone(), sampler, stats, config(ReaderMode::PerWorker, 2));
         for _ in 0..10 {
             let s = q.next();
@@ -277,7 +307,7 @@ mod tests {
         let ds = tiny_dataset();
         for mode in [ReaderMode::SharedLocked, ReaderMode::PerWorker] {
             let stats = ChannelStats::estimate(&ds, 2).expect("stats");
-            let sampler = ShardSampler::for_rank(ds.len(), 0, 6, 2);
+            let sampler = SampleSampler::for_rank(ds.len(), 0, 6, 2);
             let q = PrefetchQueue::start(ds.clone(), sampler, stats, config(mode, 3));
             for _ in 0..6 {
                 let s = q.next();
@@ -288,7 +318,7 @@ mod tests {
 
     #[test]
     fn per_worker_mode_beats_global_lock_under_read_cost() {
-        // With a 3 ms read wait and 4 workers, serialized reads cap
+        // With a 3 ms per-read-op wait and 4 workers, serialized reads cap
         // production at ~333/s while independent readers overlap their
         // waits (I/O waits overlap even on one core, like real HDF5 reads).
         let ds = tiny_dataset();
@@ -296,7 +326,7 @@ mod tests {
         let mut elapsed = Vec::new();
         for mode in [ReaderMode::SharedLocked, ReaderMode::PerWorker] {
             let stats = ChannelStats::estimate(&ds, 1).expect("stats");
-            let sampler = ShardSampler::for_rank(ds.len(), 0, 6, 3);
+            let sampler = SampleSampler::for_rank(ds.len(), 0, 6, 3);
             let mut cfg = config(mode, 4);
             cfg.read_cost = Duration::from_millis(3);
             let q = PrefetchQueue::start(ds.clone(), sampler, stats, cfg);
@@ -318,7 +348,7 @@ mod tests {
     fn channel_subset_mode() {
         let ds = tiny_dataset();
         let stats = ChannelStats::estimate(&ds, 2).expect("stats");
-        let sampler = ShardSampler::for_rank(ds.len(), 0, 4, 4);
+        let sampler = SampleSampler::for_rank(ds.len(), 0, 4, 4);
         let mut cfg = config(ReaderMode::PerWorker, 1);
         cfg.channels = vec![0, 1, 2, 7]; // TMQ, U850, V850, PSL
         let q = PrefetchQueue::start(ds.clone(), sampler, stats, cfg);
@@ -330,9 +360,25 @@ mod tests {
     fn drop_shuts_workers_down() {
         let ds = tiny_dataset();
         let stats = ChannelStats::estimate(&ds, 1).expect("stats");
-        let sampler = ShardSampler::for_rank(ds.len(), 0, 4, 5);
+        let sampler = SampleSampler::for_rank(ds.len(), 0, 4, 5);
         let q = PrefetchQueue::start(ds.clone(), sampler, stats, config(ReaderMode::PerWorker, 2));
         let _ = q.next();
         drop(q); // must not hang
+    }
+
+    #[test]
+    fn wait_histogram_records_every_pull() {
+        let ds = tiny_dataset();
+        let stats = ChannelStats::estimate(&ds, 1).expect("stats");
+        let sampler = SampleSampler::for_rank(ds.len(), 0, 4, 6);
+        let q = PrefetchQueue::start(ds.clone(), sampler, stats, config(ReaderMode::PerWorker, 1));
+        for _ in 0..8 {
+            let _ = q.next();
+        }
+        let st = q.stats();
+        assert_eq!(st.wait_histogram().count(), 8, "one wait sample per pull");
+        assert!(st.wait_p99() >= st.wait_p50());
+        assert!(st.consumer_wait() >= st.wait_p50(), "total covers at least the median");
+        assert!(st.read_histogram().count() > 0, "read ops recorded");
     }
 }

@@ -1,58 +1,149 @@
-//! Per-rank shard sampling.
+//! Per-rank shard sampling with a bit-reproducible hierarchical shuffle.
 //!
 //! §V-A1: each rank draws from a node-local shard ("250 images per GPU
 //! ... are sufficient to maintain convergence"); independent shards make
 //! the union of local batches statistically similar to a global draw.
+//!
+//! The epoch order is a *pure function* of `(seed, epoch, shard,
+//! chunk_size)` — no RNG draw history, no dependence on reader-worker
+//! count or on when the sampler was constructed. The shuffle is
+//! hierarchical, mirroring the storage layout the streaming readers
+//! exploit: chunk order is permuted first (seeded by `(seed, epoch)`),
+//! then samples within each chunk (seeded by `(seed, epoch, chunk)`), so
+//! readers still touch one file per chunk while every epoch sees a fresh
+//! global order.
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function.
+/// All shuffle seeds and the sequence hash derive from it, so the whole
+/// determinism story rests on arithmetic this crate owns rather than on
+/// any external RNG's stream stability.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Order-sensitive hash of a consumed sample sequence. Tests and the
+/// ingest microbench compare this across worker counts, pool settings and
+/// elastic churn schedules: equal hashes ⇔ bit-identical order.
+pub fn sequence_hash(seq: impl IntoIterator<Item = usize>) -> u64 {
+    let mut h = 0x6a09_e667_f3bc_c909u64; // sqrt(2) fractional bits
+    for (i, idx) in seq.into_iter().enumerate() {
+        h = mix64(h ^ (idx as u64).wrapping_add((i as u64).wrapping_mul(GOLDEN)));
+    }
+    h
+}
+
+/// Counter-mode SplitMix64 stream used for the Fisher–Yates shuffles.
+struct Mix64Rng {
+    state: u64,
+}
+
+impl Mix64Rng {
+    fn new(seed: u64) -> Mix64Rng {
+        Mix64Rng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN);
+        mix64(self.state)
+    }
+
+    /// Uniform-ish draw in `[0, n)`. Modulo bias is ≤ n/2⁶⁴ — irrelevant
+    /// at shard scales and, more importantly, *stable*: the draw for a
+    /// given `(seed, position)` never changes.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+fn shuffle<T>(xs: &mut [T], seed: u64) {
+    let mut rng = Mix64Rng::new(seed);
+    for i in (1..xs.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        xs.swap(i, j);
+    }
+}
+
+/// The pure epoch permutation: chunk order seeded by `(seed, epoch)`,
+/// within-chunk order by `(seed, epoch, chunk)`. Chunks are contiguous
+/// `chunk_size` slices of `shard` (the last may be partial), so a run of
+/// `chunk_size` consecutive output positions always maps to one chunk —
+/// the invariant the streaming readers' one-open-per-chunk I/O relies on.
+pub fn epoch_permutation(seed: u64, epoch: u64, shard: &[usize], chunk_size: usize) -> Vec<usize> {
+    let chunk = chunk_size.max(1);
+    let n_chunks = shard.len().div_ceil(chunk);
+    let mut chunk_order: Vec<usize> = (0..n_chunks).collect();
+    shuffle(&mut chunk_order, mix64(seed ^ 0xC4A1_5EED) ^ mix64(epoch.wrapping_add(1)));
+    let mut out = Vec::with_capacity(shard.len());
+    for &c in &chunk_order {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(shard.len());
+        let base = out.len();
+        out.extend_from_slice(&shard[lo..hi]);
+        shuffle(
+            &mut out[base..],
+            mix64(seed ^ 0xA11C_E5ED) ^ mix64(epoch) ^ mix64((c as u64).wrapping_add(1)),
+        );
+    }
+    out
+}
+
 /// An infinite, epoch-shuffled iterator over a shard of sample indices.
+///
+/// Unlike a draw-history RNG, the order at any `(epoch, cursor)` is
+/// reproducible from the constructor arguments alone, so any number of
+/// readers — or a reader that restarts mid-epoch — sees the same stream.
 #[derive(Debug, Clone)]
-pub struct ShardSampler {
+pub struct SampleSampler {
     shard: Vec<usize>,
+    chunk_size: usize,
+    seed: u64,
     order: Vec<usize>,
     cursor: usize,
     epoch: u64,
-    rng: StdRng,
 }
 
-impl ShardSampler {
-    /// Samples from an explicit shard.
-    pub fn new(shard: Vec<usize>, seed: u64) -> ShardSampler {
+impl SampleSampler {
+    /// Samples from an explicit shard with per-sample chunking (every
+    /// sample its own read unit — the scattered-shard case).
+    pub fn new(shard: Vec<usize>, seed: u64) -> SampleSampler {
+        SampleSampler::with_chunks(shard, seed, 1)
+    }
+
+    /// Samples from an explicit shard with the given chunk granularity
+    /// (normally the dataset's `chunk_size()`, i.e. one CDF5 file).
+    pub fn with_chunks(shard: Vec<usize>, seed: u64, chunk_size: usize) -> SampleSampler {
         assert!(!shard.is_empty(), "shard must be non-empty");
-        let mut s = ShardSampler {
-            order: shard.clone(),
-            shard,
-            cursor: 0,
-            epoch: 0,
-            rng: StdRng::seed_from_u64(seed),
-        };
-        s.reshuffle();
-        s
+        let chunk_size = chunk_size.max(1);
+        let order = epoch_permutation(seed, 0, &shard, chunk_size);
+        SampleSampler { shard, chunk_size, seed, order, cursor: 0, epoch: 0 }
     }
 
     /// Builds the rank's shard the way staging does: `samples_per_rank`
     /// distinct pseudo-random picks from the dataset.
-    pub fn for_rank(dataset_len: usize, rank: usize, samples_per_rank: usize, seed: u64) -> ShardSampler {
+    pub fn for_rank(dataset_len: usize, rank: usize, samples_per_rank: usize, seed: u64) -> SampleSampler {
         let take = samples_per_rank.min(dataset_len);
         let mut rng = StdRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9e37_79b9));
         let shard = rand::seq::index::sample(&mut rng, dataset_len, take).into_vec();
-        ShardSampler::new(shard, seed ^ 0xFACE ^ rank as u64)
-    }
-
-    fn reshuffle(&mut self) {
-        self.order.copy_from_slice(&self.shard);
-        self.order.shuffle(&mut self.rng);
-        self.cursor = 0;
+        SampleSampler::with_chunks(shard, seed ^ 0xFACE ^ rank as u64, 1)
     }
 
     /// Next sample index (reshuffles at epoch boundaries).
     pub fn next_index(&mut self) -> usize {
         if self.cursor >= self.order.len() {
             self.epoch += 1;
-            self.reshuffle();
+            self.order = epoch_permutation(self.seed, self.epoch, &self.shard, self.chunk_size);
+            self.cursor = 0;
         }
         let idx = self.order[self.cursor];
         self.cursor += 1;
@@ -68,6 +159,21 @@ impl ShardSampler {
     pub fn shard_len(&self) -> usize {
         self.shard.len()
     }
+
+    /// The underlying shard, in storage order.
+    pub fn shard(&self) -> &[usize] {
+        &self.shard
+    }
+
+    /// The shuffle seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The chunk granularity of the hierarchical shuffle.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
 }
 
 #[cfg(test)]
@@ -76,7 +182,7 @@ mod tests {
 
     #[test]
     fn covers_shard_each_epoch() {
-        let mut s = ShardSampler::new(vec![3, 5, 7, 9], 1);
+        let mut s = SampleSampler::new(vec![3, 5, 7, 9], 1);
         let mut seen: Vec<usize> = (0..4).map(|_| s.next_index()).collect();
         seen.sort_unstable();
         assert_eq!(seen, vec![3, 5, 7, 9]);
@@ -87,7 +193,7 @@ mod tests {
 
     #[test]
     fn epochs_are_differently_shuffled() {
-        let mut s = ShardSampler::new((0..32).collect(), 2);
+        let mut s = SampleSampler::new((0..32).collect(), 2);
         let e0: Vec<usize> = (0..32).map(|_| s.next_index()).collect();
         let e1: Vec<usize> = (0..32).map(|_| s.next_index()).collect();
         assert_ne!(e0, e1, "epoch orders should differ");
@@ -100,9 +206,9 @@ mod tests {
 
     #[test]
     fn rank_shards_differ_but_are_deterministic() {
-        let a = ShardSampler::for_rank(1000, 0, 50, 9);
-        let b = ShardSampler::for_rank(1000, 1, 50, 9);
-        let a2 = ShardSampler::for_rank(1000, 0, 50, 9);
+        let a = SampleSampler::for_rank(1000, 0, 50, 9);
+        let b = SampleSampler::for_rank(1000, 1, 50, 9);
+        let a2 = SampleSampler::for_rank(1000, 0, 50, 9);
         assert_ne!(a.shard, b.shard);
         assert_eq!(a.shard, a2.shard);
         assert_eq!(a.shard_len(), 50);
@@ -110,7 +216,54 @@ mod tests {
 
     #[test]
     fn shard_larger_than_dataset_is_clamped() {
-        let s = ShardSampler::for_rank(10, 0, 250, 1);
+        let s = SampleSampler::for_rank(10, 0, 250, 1);
         assert_eq!(s.shard_len(), 10);
+    }
+
+    #[test]
+    fn epoch_order_is_a_pure_function_not_draw_history() {
+        // A sampler that already walked three epochs and a fresh
+        // permutation call agree exactly: no hidden RNG state.
+        let shard: Vec<usize> = (100..164).collect();
+        let mut s = SampleSampler::with_chunks(shard.clone(), 77, 8);
+        for _ in 0..3 * shard.len() {
+            let _ = s.next_index();
+        }
+        let walked: Vec<usize> = (0..shard.len()).map(|_| s.next_index()).collect();
+        assert_eq!(walked, epoch_permutation(77, 3, &shard, 8));
+    }
+
+    #[test]
+    fn chunk_runs_stay_within_one_chunk() {
+        // Every aligned run of chunk_size output positions must come from
+        // a single storage chunk (any order within it).
+        let shard: Vec<usize> = (0..40).collect();
+        let chunk = 8;
+        for epoch in 0..4 {
+            let order = epoch_permutation(5, epoch, &shard, chunk);
+            for run in order.chunks(chunk) {
+                let c = run[0] / chunk;
+                assert!(
+                    run.iter().all(|&i| i / chunk == c),
+                    "epoch {epoch}: run {run:?} spans chunks"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_last_chunk_is_preserved() {
+        let shard: Vec<usize> = (0..10).collect(); // chunks of 4, 4, 2
+        let order = epoch_permutation(3, 1, &shard, 4);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, shard);
+    }
+
+    #[test]
+    fn sequence_hash_is_order_sensitive() {
+        assert_eq!(sequence_hash([1, 2, 3]), sequence_hash([1, 2, 3]));
+        assert_ne!(sequence_hash([1, 2, 3]), sequence_hash([3, 2, 1]));
+        assert_ne!(sequence_hash([1, 2]), sequence_hash([1, 2, 0]));
     }
 }

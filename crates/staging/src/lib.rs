@@ -26,10 +26,12 @@
 //!   verify the protocol delivers bit-identical shards.
 
 pub mod assign;
+pub mod ingest;
 pub mod real;
 pub mod sim;
 
 pub use assign::StagingPlan;
+pub use ingest::IngestFeed;
 pub use sim::{
     simulate_distributed_staging, simulate_distributed_staging_faulty, simulate_naive_staging,
     StagingConfig, StagingOutcome,

@@ -36,7 +36,7 @@ pub mod tensor;
 
 pub use crate::half::{Bf16, F16};
 pub use crate::ops::gemm::{compute_precision, set_compute_precision, ComputePrecision};
-pub use crate::pool::Workspace;
+pub use crate::pool::{PooledBytes, Workspace};
 pub use crate::shape::Shape;
 pub use crate::simd::{set_simd_enabled, simd_enabled, SimdLevel};
 pub use crate::tensor::{DType, Tensor};

@@ -273,9 +273,13 @@ pub fn set_enabled(on: bool) {
     }
 }
 
-/// Frees every retained buffer (the counters are preserved).
+/// Frees every retained buffer, f32 and byte lists alike (the counters
+/// are preserved).
 pub fn trim() {
     for class in &free_lists().classes {
+        class.lock().clear();
+    }
+    for class in &byte_free_lists().classes {
         class.lock().clear();
     }
 }
@@ -449,6 +453,221 @@ pub fn recycle(mut v: Vec<f32>) {
     ctr.resident_high.fetch_max(resident, Ordering::Relaxed);
 }
 
+// --- byte-buffer pool (ingest labels / raw CDF5 chunks) ---------------------
+
+/// The streaming ingest path recycles `Vec<u8>` buffers (label masks, raw
+/// CDF5 chunk bytes) through size-class free lists mirroring the `f32`
+/// pool. Separate lists — byte buffers never alias tensor storage — with
+/// their own telemetry, so the ingest microbenchmark can assert the data
+/// plane performs zero steady-state fresh allocations on *both* element
+/// types.
+struct ByteFreeLists {
+    classes: Vec<Mutex<Vec<Vec<u8>>>>,
+}
+
+fn byte_free_lists() -> &'static ByteFreeLists {
+    static LISTS: OnceLock<ByteFreeLists> = OnceLock::new();
+    LISTS.get_or_init(|| ByteFreeLists {
+        classes: (0..NUM_CLASSES).map(|_| Mutex::new(Vec::new())).collect(),
+    })
+}
+
+static BYTE_POOL_SERVED: AtomicU64 = AtomicU64::new(0);
+static BYTE_FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTE_RECYCLED: AtomicU64 = AtomicU64::new(0);
+static BYTE_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Telemetry for the byte-buffer pool (monotonic since process start) —
+/// the ingest side of the allocation story.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BytePoolStats {
+    /// Requests satisfied from a free list.
+    pub pool_served: u64,
+    /// Requests that went to the system allocator.
+    pub fresh_allocs: u64,
+    /// Buffers returned to a free list.
+    pub recycled: u64,
+    /// Returned buffers freed instead of retained.
+    pub dropped: u64,
+}
+
+impl BytePoolStats {
+    /// Counter delta since an earlier snapshot.
+    pub fn since(&self, earlier: &BytePoolStats) -> BytePoolStats {
+        BytePoolStats {
+            pool_served: self.pool_served.saturating_sub(earlier.pool_served),
+            fresh_allocs: self.fresh_allocs.saturating_sub(earlier.fresh_allocs),
+            recycled: self.recycled.saturating_sub(earlier.recycled),
+            dropped: self.dropped.saturating_sub(earlier.dropped),
+        }
+    }
+}
+
+/// Snapshot of the byte-pool counters.
+pub fn byte_stats() -> BytePoolStats {
+    BytePoolStats {
+        pool_served: BYTE_POOL_SERVED.load(Ordering::Relaxed),
+        fresh_allocs: BYTE_FRESH_ALLOCS.load(Ordering::Relaxed),
+        recycled: BYTE_RECYCLED.load(Ordering::Relaxed),
+        dropped: BYTE_DROPPED.load(Ordering::Relaxed),
+    }
+}
+
+fn byte_pop(n: usize) -> Option<Vec<u8>> {
+    if n == 0 || !enabled() {
+        return None;
+    }
+    let class = class_for_request(n);
+    if class >= NUM_CLASSES {
+        return None;
+    }
+    byte_free_lists().classes[class].lock().pop()
+}
+
+/// An empty byte buffer with capacity for at least `n` elements (recycled
+/// if possible), for `extend`-style fills.
+pub fn take_bytes_with_capacity(n: usize) -> Vec<u8> {
+    if n == 0 {
+        return Vec::new();
+    }
+    match byte_pop(n) {
+        Some(mut v) => {
+            BYTE_POOL_SERVED.fetch_add(1, Ordering::Relaxed);
+            v.clear();
+            v
+        }
+        None => {
+            BYTE_FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+            let class = class_for_request(n);
+            let cap = if class < usize::BITS as usize { (1usize << class).max(n) } else { n };
+            Vec::with_capacity(cap)
+        }
+    }
+}
+
+/// A byte buffer of `n` zeros (recycled if possible, fully initialized).
+pub fn take_bytes_zeroed(n: usize) -> Vec<u8> {
+    let mut v = take_bytes_with_capacity(n);
+    v.resize(n, 0);
+    v
+}
+
+/// A byte buffer holding a copy of `src` (recycled if possible).
+pub fn take_bytes_copy(src: &[u8]) -> Vec<u8> {
+    let mut v = take_bytes_with_capacity(src.len());
+    v.extend_from_slice(src);
+    v
+}
+
+/// Returns a byte buffer to its size-class free list (or frees it).
+pub fn recycle_bytes(mut v: Vec<u8>) {
+    let cap = v.capacity();
+    if cap == 0 {
+        return;
+    }
+    if !enabled() {
+        BYTE_DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let class = class_for_buffer(cap);
+    if class >= NUM_CLASSES {
+        BYTE_DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let mut list = byte_free_lists().classes[class].lock();
+    if list.len() >= MAX_PER_CLASS {
+        drop(list);
+        BYTE_DROPPED.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    v.clear();
+    list.push(v);
+    drop(list);
+    BYTE_RECYCLED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A pooled `u8` buffer: label masks and raw chunk bytes that return to
+/// the byte pool on drop — the `u8` counterpart of [`PoolBuf`].
+pub struct PooledBytes {
+    data: Vec<u8>,
+}
+
+impl PooledBytes {
+    /// Adopts an existing buffer (it will be recycled on drop).
+    #[inline]
+    pub fn from_vec(data: Vec<u8>) -> PooledBytes {
+        PooledBytes { data }
+    }
+
+    /// A pooled copy of `src`.
+    #[inline]
+    pub fn copy_of(src: &[u8]) -> PooledBytes {
+        PooledBytes { data: take_bytes_copy(src) }
+    }
+
+    /// Read-only view.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Drop for PooledBytes {
+    fn drop(&mut self) {
+        recycle_bytes(std::mem::take(&mut self.data));
+    }
+}
+
+impl Clone for PooledBytes {
+    fn clone(&self) -> PooledBytes {
+        PooledBytes::copy_of(&self.data)
+    }
+}
+
+impl std::ops::Deref for PooledBytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl PartialEq for PooledBytes {
+    fn eq(&self, other: &PooledBytes) -> bool {
+        self.data == other.data
+    }
+}
+
+impl PartialEq<[u8]> for PooledBytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PooledBytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data == other
+    }
+}
+
+impl std::fmt::Debug for PooledBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.data.fmt(f)
+    }
+}
+
 // --- pooled tensor storage --------------------------------------------------
 
 /// A pooled `f32` buffer: tensor storage that returns itself to the pool
@@ -509,6 +728,14 @@ impl Clone for PoolBuf {
     /// Copy-on-write backing: cloning draws a pooled copy of the contents.
     fn clone(&self) -> PoolBuf {
         PoolBuf { data: take_copy(&self.data) }
+    }
+}
+
+impl std::ops::Deref for PoolBuf {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        &self.data
     }
 }
 
@@ -760,6 +987,56 @@ mod tests {
         assert_eq!(class_requests, d.totals.total_requests(), "per-class counters cover every request");
         let class_recycles: u64 = d.classes.iter().map(|c| c.recycled).sum();
         assert_eq!(class_recycles, d.totals.recycled);
+    }
+
+    #[test]
+    fn byte_pool_round_trip_reuses_buffer() {
+        let _g = GUARD.lock();
+        set_enabled(true);
+        trim();
+        let v = take_bytes_zeroed(512);
+        assert!(v.iter().all(|&b| b == 0));
+        let cap = v.capacity();
+        recycle_bytes(v);
+        let before = byte_stats();
+        let w = take_bytes_copy(&[7u8; 400]); // same class (512): must reuse
+        assert_eq!(w.len(), 400);
+        assert_eq!(w.capacity(), cap);
+        let after = byte_stats();
+        assert_eq!(after.pool_served - before.pool_served, 1);
+        assert_eq!(after.fresh_allocs, before.fresh_allocs);
+        recycle_bytes(w);
+    }
+
+    #[test]
+    fn pooled_bytes_drop_recycles() {
+        let _g = GUARD.lock();
+        set_enabled(true);
+        trim();
+        let b = PooledBytes::copy_of(&[1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        assert_eq!(b, [1u8, 2, 3][..]);
+        let before = byte_stats();
+        drop(b);
+        let after = byte_stats();
+        assert_eq!(after.recycled - before.recycled, 1);
+        assert_eq!(c.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn disabled_pool_drops_byte_buffers() {
+        let _g = GUARD.lock();
+        set_enabled(false);
+        let v = take_bytes_zeroed(64);
+        let before = byte_stats();
+        recycle_bytes(v);
+        let w = take_bytes_zeroed(64);
+        let after = byte_stats();
+        assert_eq!(after.dropped - before.dropped, 1);
+        assert_eq!(after.fresh_allocs - before.fresh_allocs, 1);
+        recycle_bytes(w);
+        set_enabled(true);
     }
 
     #[test]

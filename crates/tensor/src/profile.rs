@@ -358,6 +358,10 @@ pub enum SpanKind {
     CommExposed,
     /// Optimizer step.
     Optimizer,
+    /// Time the rank's critical path waited on the input pipeline (the
+    /// blocking pull of the next batch) — the exposed-I/O number the
+    /// prefetch autoscaler feeds on.
+    Ingest,
 }
 
 impl SpanKind {
@@ -369,6 +373,7 @@ impl SpanKind {
             SpanKind::CommBusy => "comm-busy",
             SpanKind::CommExposed => "comm-exposed",
             SpanKind::Optimizer => "optimizer",
+            SpanKind::Ingest => "ingest",
         }
     }
 }

@@ -6,7 +6,7 @@ use exaclim_climsim::ClimateDataset;
 use exaclim_comm::CommWorld;
 use exaclim_distrib::{ControlPlane, Coordinator};
 use exaclim_pipeline::prefetch::{PrefetchConfig, PrefetchQueue, ReaderMode};
-use exaclim_pipeline::{ChannelStats, ShardSampler};
+use exaclim_pipeline::{ChannelStats, SampleSampler};
 use exaclim_staging::real::{stage_distributed, stage_naive};
 use exaclim_staging::StagingPlan;
 use exaclim_tensor::DType;
@@ -31,7 +31,7 @@ fn staged_shards_feed_the_pipeline() {
     assert_eq!(staged.shards[0].len(), 5);
 
     let stats = ChannelStats::estimate(&ds, 2).expect("stats");
-    let sampler = ShardSampler::new(shard.clone(), 11);
+    let sampler = SampleSampler::new(shard.clone(), 11);
     let q = PrefetchQueue::start(
         ds.clone(),
         sampler,
@@ -52,7 +52,7 @@ fn staged_shards_feed_the_pipeline() {
         // The sample must match one of the staged shard's payloads.
         let matched = shard.iter().any(|&idx| {
             let stored = staged.shards[0].get(&idx).expect("staged sample");
-            stored.labels == s.labels
+            stored.labels.as_slice() == s.labels.as_slice()
         });
         assert!(matched, "pipeline must serve staged-shard samples");
     }
@@ -120,7 +120,7 @@ fn on_disk_dataset_supports_the_full_path() {
     let ds = Arc::new(ClimateDataset::on_disk(&cfg, &dir).expect("on-disk"));
     assert_eq!(ds.files().len(), 3);
     let stats = ChannelStats::estimate(&ds, 2).expect("stats");
-    let sampler = ShardSampler::for_rank(ds.len(), 0, 4, 2);
+    let sampler = SampleSampler::for_rank(ds.len(), 0, 4, 2);
     let q = PrefetchQueue::start(
         ds.clone(),
         sampler,

@@ -50,3 +50,12 @@ cargo run --release -q -p exaclim-bench --bin kernel_microbench -- --smoke
 # requests/sec at equal-or-better p99 under the highest swept load.
 # Writes BENCH_serve.json.
 cargo run --release -q -p exaclim-bench --bin serve_microbench -- --smoke
+
+# The ingest microbenchmark's smoke mode asserts the streaming data
+# plane's contract: the consumed sample sequence hashes identically at
+# 1/2/4 reader workers, with the buffer pool on or off, and under a
+# seeded elastic churn schedule; the steady-state stream performs zero
+# pool-tracked fresh allocations; and the streaming engine delivers
+# >= 2x the seed pull model's samples/sec at 4 workers.
+# Writes BENCH_ingest.json.
+cargo run --release -q -p exaclim-bench --bin ingest_microbench -- --smoke
