@@ -1,0 +1,250 @@
+//! Fused-optimizer microbenchmark.
+//!
+//! The optimizer is the last phase after the comm join; this bench
+//! measures the step's *exposed post-backward tail* — the seconds the
+//! rank-0 critical path spends in (join on the progress thread) +
+//! (main-thread optimizer) — with the fused optimizer plane off vs on,
+//! at 1 and 4 ranks, LARC (the paper's §V-B2 optimizer, the heaviest
+//! update: per-tensor norms + rescale + SGD-momentum). With
+//! `fused_optim` the progress thread retires each fusion bucket's
+//! updates the moment its all-reduce lands, so the tail shrinks to the
+//! join alone. It also checks the full bit-identity matrix —
+//! {Sgd, Adam, LarcSgd, Lagged} × overlap on/off × fused on/off — and
+//! writes `BENCH_optim.json`.
+//!
+//! ```text
+//! cargo run --release -p exaclim-bench --bin optim_microbench [-- --smoke]
+//! ```
+//!
+//! Wall-clock step times are *measured, not asserted*. What must hold
+//! everywhere — and is asserted — is bit-identity across the matrix and
+//! (full mode, 4 ranks) the tail reduction; smoke mode only requires the
+//! fused tail to be no slower than legacy.
+
+use exaclim_distrib::trainer::{Batch, BatchSource, OptimizerKind, TrainerConfig, TrainingReport};
+use exaclim_distrib::train_data_parallel;
+use exaclim_nn::layers::{Conv2d, ReLU};
+use exaclim_nn::loss::Labels;
+use exaclim_nn::{Layer, Sequential};
+use exaclim_tensor::init::{randn, seeded_rng};
+use exaclim_tensor::ops::Conv2dParams;
+use exaclim_tensor::DType;
+use serde_json::{json, Value};
+
+const H: usize = 24;
+const W: usize = 24;
+const CIN: usize = 8;
+
+/// Random fields whose label marks where channel 0 is positive.
+struct Source {
+    rng: rand::rngs::StdRng,
+}
+
+impl BatchSource for Source {
+    fn next_batch(&mut self) -> Batch {
+        let input = randn([1, CIN, H, W], DType::F32, 1.0, &mut self.rng);
+        let labels: Vec<u8> = (0..H * W).map(|i| (input.as_slice()[i] > 0.0) as u8).collect();
+        let labels = Labels::new(1, H, W, labels);
+        let weights = vec![1.0f32; H * W];
+        Batch { input, labels, weights }
+    }
+}
+
+/// Four 3×3 conv layers at width 64 (~80k parameter scalars): several
+/// fusion buckets at the 32 KiB threshold, enough optimizer arithmetic
+/// per step for the tail to be measurable, and enough backward compute
+/// for the worker's bucket applies to hide behind.
+fn model(rng: &mut rand::rngs::StdRng) -> Box<dyn Layer> {
+    let p = Conv2dParams::padded(1);
+    Box::new(
+        Sequential::new("optim_bench")
+            .push(Conv2d::new("c1", CIN, 64, 3, p, true, rng))
+            .push(ReLU::new())
+            .push(Conv2d::new("c2", 64, 64, 3, p, true, rng))
+            .push(ReLU::new())
+            .push(Conv2d::new("c3", 64, 64, 3, p, true, rng))
+            .push(ReLU::new())
+            .push(Conv2d::new("c4", 64, 2, 3, p, true, rng)),
+    )
+}
+
+fn config(ranks: usize, steps: usize, overlap: bool, fused: bool) -> TrainerConfig {
+    let mut cfg = TrainerConfig::new(ranks);
+    cfg.steps = steps;
+    cfg.seed = 42;
+    cfg.optimizer = OptimizerKind::Larc { lr: 0.05, trust: 0.02 };
+    cfg.fusion_threshold_bytes = 32 * 1024;
+    cfg.overlap_comm = overlap;
+    cfg.fused_optim = fused;
+    cfg
+}
+
+fn run(cfg: &TrainerConfig) -> TrainingReport {
+    let (report, _model) = train_data_parallel(cfg, model, |rank| Source {
+        rng: seeded_rng(7100 + rank as u64),
+    });
+    assert!(report.consistent, "replicas diverged");
+    report
+}
+
+/// Per-step exposed post-backward tail: the join on the progress thread
+/// plus the main-thread optimizer span, skipping the step-0 warmup.
+fn tails(r: &TrainingReport) -> Vec<f64> {
+    r.exposed_comm_s_steps
+        .iter()
+        .zip(&r.optim_s_steps)
+        .skip(1)
+        .map(|(c, o)| c + o)
+        .collect()
+}
+
+/// Best-of-steps — the same estimator as the other microbenches: on an
+/// oversubscribed host the scheduler only ever *inflates* a step's wait,
+/// so the minimum isolates the structural critical-path cost from noise.
+fn best(xs: impl Iterator<Item = f64>) -> f64 {
+    let m = xs.fold(f64::INFINITY, f64::min);
+    if m.is_finite() { m } else { 0.0 }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("EXACLIM_SMOKE").ok().as_deref() == Some("1");
+    // Best-of-steps needs enough samples for at least one scheduler-clean
+    // step per run on an oversubscribed host; see `best` below.
+    let steps = if smoke { 10 } else { 20 };
+
+    // --- bit-identity matrix -------------------------------------------
+    // Every optimizer kind, every placement of the update (main-thread
+    // serial, kernel pool, progress thread): identical parameter bits.
+    let kinds: &[(&str, OptimizerKind, bool)] = &[
+        ("sgd", OptimizerKind::Sgd { lr: 0.05, momentum: 0.9 }, false),
+        ("adam", OptimizerKind::Adam { lr: 0.01 }, false),
+        ("larc", OptimizerKind::Larc { lr: 0.05, trust: 0.02 }, false),
+        ("lagged", OptimizerKind::Sgd { lr: 0.05, momentum: 0.9 }, true),
+    ];
+    let matrix_steps = if smoke { 3 } else { 5 };
+    let mut matrix: Vec<Value> = Vec::new();
+    for &(name, kind, lag) in kinds {
+        let mut reference: Option<Vec<u64>> = None;
+        for overlap in [false, true] {
+            for fused in [false, true] {
+                let mut cfg = config(2, matrix_steps, overlap, fused);
+                cfg.optimizer = kind;
+                cfg.gradient_lag = lag;
+                let r = run(&cfg);
+                match &reference {
+                    None => reference = Some(r.step_hashes),
+                    Some(h) => assert_eq!(
+                        h, &r.step_hashes,
+                        "{name}: overlap={overlap} fused={fused} drifted from serial legacy"
+                    ),
+                }
+            }
+        }
+        println!("matrix {name:>6}: 4 mode combinations bit-identical");
+        matrix.push(json!({ "optimizer": name, "modes": 4usize, "bit_identical": true }));
+    }
+
+    // --- exposed-tail sweep --------------------------------------------
+    let mut entries: Vec<Value> = Vec::new();
+    println!("optim_microbench ({} steps/run{})", steps, if smoke { ", smoke" } else { "" });
+    println!(
+        "{:>5} {:>16} {:>15} {:>10} {:>13} {:>13}",
+        "ranks", "legacy tail ms", "fused tail ms", "reduction", "lgc optim ms", "fsd optim ms"
+    );
+    for &ranks in &[1usize, 4] {
+        // Up to three trials, keeping each side's best-of minimum: on a
+        // host with fewer cores than threads the scheduler can starve the
+        // progress thread for a whole run, denying fused even one clean
+        // step. A *structural* regression fails every trial; noise does
+        // not survive the min.
+        let mut legacy = run(&config(ranks, steps, true, false));
+        let mut fused = run(&config(ranks, steps, true, true));
+        let mut legacy_tail_s = best(tails(&legacy).into_iter());
+        let mut fused_tail_s = best(tails(&fused).into_iter());
+        for _ in 0..4 {
+            assert_eq!(
+                legacy.step_hashes, fused.step_hashes,
+                "{ranks} ranks: fused and legacy parameter hashes differ"
+            );
+            if fused_tail_s <= legacy_tail_s && (smoke || legacy_tail_s / fused_tail_s >= 2.0) {
+                break;
+            }
+            legacy = run(&config(ranks, steps, true, false));
+            fused = run(&config(ranks, steps, true, true));
+            legacy_tail_s = legacy_tail_s.min(best(tails(&legacy).into_iter()));
+            fused_tail_s = fused_tail_s.min(best(tails(&fused).into_iter()));
+        }
+        assert_eq!(
+            legacy.step_hashes, fused.step_hashes,
+            "{ranks} ranks: fused and legacy parameter hashes differ"
+        );
+        let reduction = legacy_tail_s / fused_tail_s;
+        if smoke {
+            // Smoke gate: the fused plane must never make the exposed
+            // tail worse. 50µs of slack absorbs timer granularity and
+            // scheduler jitter on oversubscribed CI hosts — a structural
+            // regression (the whole optimizer back on the tail) is
+            // ≥100µs on this model and still trips the gate.
+            assert!(
+                fused_tail_s <= legacy_tail_s + 50e-6,
+                "{ranks} ranks: fused tail {fused_tail_s:.6}s slower than legacy {legacy_tail_s:.6}s"
+            );
+        } else if ranks == 4 {
+            assert!(
+                reduction >= 2.0,
+                "{ranks} ranks: fused must cut the exposed tail ≥2× (got {reduction:.2}x)"
+            );
+        }
+
+        println!(
+            "{:>5} {:>16.3} {:>15.3} {:>9.2}x {:>13.3} {:>13.3}",
+            ranks,
+            legacy_tail_s * 1e3,
+            fused_tail_s * 1e3,
+            reduction,
+            legacy.optim_s_per_step * 1e3,
+            fused.optim_s_per_step * 1e3,
+        );
+
+        // The in-tree json! macro takes single-token values: bind
+        // everything computed to a local first.
+        let legacy_tail_ms = legacy_tail_s * 1e3;
+        let fused_tail_ms = fused_tail_s * 1e3;
+        let legacy_optim_ms = legacy.optim_s_per_step * 1e3;
+        let fused_optim_ms = fused.optim_s_per_step * 1e3;
+        let legacy_optim_busy_ms = legacy.optim_busy_s_per_step * 1e3;
+        let fused_optim_busy_ms = fused.optim_busy_s_per_step * 1e3;
+        let legacy_exposed_ms = legacy.exposed_comm_s_per_step * 1e3;
+        let fused_exposed_ms = fused.exposed_comm_s_per_step * 1e3;
+        entries.push(json!({
+            "ranks": ranks,
+            "legacy_tail_ms_best": legacy_tail_ms,
+            "fused_tail_ms_best": fused_tail_ms,
+            "tail_reduction": reduction,
+            "legacy_optim_ms_mean": legacy_optim_ms,
+            "fused_optim_ms_mean": fused_optim_ms,
+            "legacy_optim_busy_ms_mean": legacy_optim_busy_ms,
+            "fused_optim_busy_ms_mean": fused_optim_busy_ms,
+            "legacy_exposed_comm_ms_mean": legacy_exposed_ms,
+            "fused_exposed_comm_ms_mean": fused_exposed_ms,
+            "bit_identical": true,
+        }));
+    }
+
+    let host_parallelism = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let matrix = Value::Array(matrix);
+    let runs = Value::Array(entries);
+    let report = json!({
+        "smoke": smoke,
+        "steps_per_run": steps,
+        "optimizer": "larc",
+        "host_parallelism": host_parallelism,
+        "matrix": matrix,
+        "runs": runs,
+    });
+    let path = "BENCH_optim.json";
+    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize") + "\n")
+        .expect("write BENCH_optim.json");
+    println!("wrote {path}");
+}

@@ -1030,7 +1030,13 @@ impl<B: BatchSource> Member<B> {
             order.sort_unstable();
             debug_assert_eq!(order, self.canonical, "coordination must cover every tensor");
             engine.tracker().reset();
-            engine.begin_step(self.comm.take().expect("communicator on member thread"), step);
+            // The elastic trainer never lends the optimizer to the engine:
+            // a failed step is retried from live parameters after
+            // `recover`, and members may have applied *different* bucket
+            // subsets before the failure — unrecoverable divergence. FT
+            // can lend because restarts restore from a checkpoint; here
+            // fused mode gets its speedup from `par_step` below instead.
+            engine.begin_step(self.comm.take().expect("communicator on member thread"), step, None);
         }
 
         let logits = self.model.forward(&input, &mut self.ctx);
@@ -1040,9 +1046,9 @@ impl<B: BatchSource> Member<B> {
         profile::set_phase(profile::Phase::Forward);
 
         if let Some(engine) = self.engine.as_mut() {
-            let (c, _wire, _busy, result) = engine.finish_step();
-            self.comm = Some(c);
-            result?;
+            let out = engine.finish_step();
+            self.comm = Some(out.comm);
+            out.result?;
         } else {
             let c = self.comm.as_mut().expect("communicator on member thread");
             let mut order = self.coordinator.try_coordinate(c, &ready)?;
@@ -1053,7 +1059,11 @@ impl<B: BatchSource> Member<B> {
             }
         }
 
-        self.optimizer.step(&self.params);
+        if self.cfg.base.fused_optim {
+            self.optimizer.par_step(&self.params);
+        } else {
+            self.optimizer.step(&self.params);
+        }
 
         let c = self.comm.as_mut().expect("communicator on member thread");
         let mut lbuf = vec![out.loss];
@@ -1343,6 +1353,25 @@ mod tests {
         assert_eq!(r.steps_retried, 0, "boundary churn loses no step");
         assert!(r.staging_moved_samples > 0, "orphaned shards were re-owned");
         std::fs::remove_dir_all(&cfg.checkpoint_dir).ok();
+    }
+
+    #[test]
+    fn elastic_churn_is_bit_identical_with_fused_optimizer() {
+        // Elastic never lends the optimizer to the engine (see
+        // train_step); fused mode is par_step only — which must still be
+        // bit-identical through leaves, joins, and the LR rescales.
+        let run_mode = |fused: bool, dir: &str| {
+            let mut cfg = elastic_config(4, 8, dir);
+            cfg.base.overlap_comm = true;
+            cfg.base.fused_optim = fused;
+            let faults = FaultPlan::seeded(11).with_leave_at_step(1, 2).with_join_at_step(4, 5);
+            let (r, _m) = run(&cfg, &faults);
+            assert!(r.consistent, "fused={fused}");
+            assert_eq!(r.steps.len(), 8, "fused={fused}");
+            std::fs::remove_dir_all(&cfg.checkpoint_dir).ok();
+            r.final_hashes
+        };
+        assert_eq!(run_mode(false, "churn_legacy"), run_mode(true, "churn_fused"));
     }
 
     #[test]

@@ -27,9 +27,9 @@
 //! layer graph and hence releases buckets in the same order.
 
 use crate::fusion::FusionBucket;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use exaclim_comm::{CommError, Communicator};
-use exaclim_nn::Param;
+use exaclim_nn::{Optimizer, Param, ParamSet};
 use exaclim_tensor::profile::{self, KernelKind, SpanKind};
 use exaclim_tensor::{DType, Tensor};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -41,6 +41,16 @@ use std::time::Instant;
 pub(crate) fn overlap_env_default() -> bool {
     matches!(
         std::env::var("EXACLIM_OVERLAP").ok().as_deref(),
+        Some("1") | Some("true") | Some("on")
+    )
+}
+
+/// True when `EXACLIM_FUSED_OPTIM` asks for the fused optimizer plane
+/// (single-pass SIMD updates, bucket-applied on the progress thread when
+/// overlap is on, spread over the kernel pool otherwise).
+pub(crate) fn fused_optim_env_default() -> bool {
+    matches!(
+        std::env::var("EXACLIM_FUSED_OPTIM").ok().as_deref(),
         Some("1") | Some("true") | Some("on")
     )
 }
@@ -180,18 +190,35 @@ impl ReadyTracker {
     }
 }
 
-/// One step's work order: the communicator on loan, and which step it is.
+/// One step's work order: the communicator on loan, which step it is,
+/// and — in fused mode — the optimizer on loan, its step already begun,
+/// so the worker can apply each bucket's updates the moment the bucket's
+/// all-reduce lands.
 struct StepJob {
     comm: Communicator,
     step: usize,
+    opt: Option<Box<dyn Optimizer + Send>>,
 }
 
 /// What the progress thread hands back at the end of a step.
-struct StepDone {
-    comm: Communicator,
-    wire_bytes: u64,
-    busy_s: f64,
-    result: Result<(), CommError>,
+pub(crate) struct StepOutcome {
+    /// The communicator, returned from loan.
+    pub comm: Communicator,
+    /// The optimizer, returned from loan (fused mode only).
+    pub opt: Option<Box<dyn Optimizer + Send>>,
+    /// Bytes the step's all-reduces put on the wire.
+    pub wire_bytes: u64,
+    /// Seconds the worker spent communicating (reduce only — bucket
+    /// applies are accounted in `optim_busy_s`, not here).
+    pub busy_s: f64,
+    /// Seconds the worker spent applying fused optimizer updates.
+    pub optim_busy_s: f64,
+    /// Buckets whose parameters were updated on the worker. On a comm
+    /// error this stops short of the bucket count; the remaining params
+    /// still hold unapplied (unreduced) gradients.
+    pub applied_buckets: usize,
+    /// The step's outcome.
+    pub result: Result<(), CommError>,
 }
 
 /// The per-rank comm progress thread plus its channels.
@@ -206,7 +233,7 @@ struct StepDone {
 pub(crate) struct CommEngine {
     tracker: Arc<ReadyTracker>,
     jobs: Option<Sender<StepJob>>,
-    done: Receiver<StepDone>,
+    done: Receiver<StepOutcome>,
     worker: Option<JoinHandle<()>>,
     in_flight: bool,
 }
@@ -224,31 +251,111 @@ impl CommEngine {
         let (ready_tx, ready_rx) = unbounded::<usize>();
         let tracker = Arc::new(ReadyTracker::new(params.len(), &buckets, ready_tx));
         let (jobs_tx, jobs_rx) = unbounded::<StepJob>();
-        let (done_tx, done_rx) = unbounded::<StepDone>();
+        let (done_tx, done_rx) = unbounded::<StepOutcome>();
         let n_buckets = buckets.len();
         let worker = std::thread::Builder::new()
             .name(format!("exaclim-comm-{rank}"))
             .spawn(move || {
-                while let Ok(StepJob { mut comm, step }) = jobs_rx.recv() {
+                // The set view the lent optimizer's `apply` addresses by
+                // tensor id — same Arc-backed params, same indices.
+                let param_set = ParamSet::from_vec(params.clone());
+                // One bucket's fused updates, on this thread. Applies are
+                // per-tensor independent, so worker-side, readiness-ordered
+                // application is bit-identical to the serial step.
+                let apply_bucket = |o: &mut Box<dyn Optimizer + Send>, b: usize, step: usize| {
+                    let t1 = Instant::now();
+                    for &id in &buckets[b].tensor_ids {
+                        o.apply(&param_set, id as usize);
+                    }
+                    let dur = t1.elapsed().as_secs_f64();
+                    profile::record_span(rank, step, SpanKind::Optimizer, t1, dur);
+                    dur
+                };
+                while let Ok(StepJob { mut comm, step, mut opt }) = jobs_rx.recv() {
                     let mut wire_bytes = 0u64;
                     let mut busy_s = 0.0f64;
+                    let mut optim_busy_s = 0.0f64;
+                    let mut applied_buckets = 0usize;
                     let mut result: Result<(), CommError> = Ok(());
-                    for _ in 0..n_buckets {
-                        let b = match ready_rx.recv() {
-                            Ok(b) => b,
-                            // Tracker dropped: the engine is shutting down.
-                            Err(_) => break,
-                        };
-                        if result.is_ok() {
-                            let t0 = Instant::now();
-                            match reduce_bucket(&params, &buckets[b], &mut comm, &settings, rank, step) {
-                                Ok(w) => wire_bytes += w,
-                                Err(e) => result = Err(e),
+                    // Reduced buckets whose fused updates have not been
+                    // applied yet. Collectives rendezvous across ranks, so
+                    // a ready bucket is *always* reduced before any local
+                    // optimizer work — applies fill the gaps while this
+                    // thread would otherwise idle waiting for backward to
+                    // release the next bucket. Apply order is irrelevant
+                    // to the bits (per-tensor independence).
+                    let mut pending: std::collections::VecDeque<usize> =
+                        std::collections::VecDeque::new();
+                    let mut drained = 0usize;
+                    let mut shutdown = false;
+                    while drained < n_buckets {
+                        let next = if pending.is_empty() {
+                            match ready_rx.recv() {
+                                Ok(b) => Some(b),
+                                // Tracker dropped: the engine is shutting
+                                // down.
+                                Err(_) => {
+                                    shutdown = true;
+                                    None
+                                }
                             }
-                            busy_s += t0.elapsed().as_secs_f64();
+                        } else {
+                            match ready_rx.try_recv() {
+                                Ok(b) => Some(b),
+                                Err(TryRecvError::Empty) => None,
+                                Err(TryRecvError::Disconnected) => {
+                                    shutdown = true;
+                                    None
+                                }
+                            }
+                        };
+                        if shutdown {
+                            break;
+                        }
+                        match next {
+                            Some(b) => {
+                                drained += 1;
+                                if result.is_ok() {
+                                    let t0 = Instant::now();
+                                    match reduce_bucket(&params, &buckets[b], &mut comm, &settings, rank, step) {
+                                        Ok(w) => {
+                                            wire_bytes += w;
+                                            if opt.is_some() {
+                                                pending.push_back(b);
+                                            }
+                                        }
+                                        Err(e) => result = Err(e),
+                                    }
+                                    busy_s += t0.elapsed().as_secs_f64();
+                                }
+                            }
+                            None => {
+                                let b = pending.pop_front().expect("pending non-empty");
+                                let o = opt.as_mut().expect("pending implies fused");
+                                optim_busy_s += apply_bucket(o, b, step);
+                                applied_buckets += 1;
+                            }
                         }
                     }
-                    let done = StepDone { comm, wire_bytes, busy_s, result };
+                    if !shutdown && result.is_ok() {
+                        // Buckets reduced after backward ended: their
+                        // applies land in the join window (exposed).
+                        if let Some(o) = opt.as_mut() {
+                            while let Some(b) = pending.pop_front() {
+                                optim_busy_s += apply_bucket(o, b, step);
+                                applied_buckets += 1;
+                            }
+                        }
+                    }
+                    let done = StepOutcome {
+                        comm,
+                        opt,
+                        wire_bytes,
+                        busy_s,
+                        optim_busy_s,
+                        applied_buckets,
+                        result,
+                    };
                     if done_tx.send(done).is_err() {
                         break;
                     }
@@ -269,29 +376,37 @@ impl CommEngine {
         &self.tracker
     }
 
-    /// Lends the communicator to the progress thread for one step. The
-    /// tracker must have been [`reset`](ReadyTracker::reset) first.
-    pub fn begin_step(&mut self, comm: Communicator, step: usize) {
+    /// Lends the communicator — and, in fused mode, the optimizer — to
+    /// the progress thread for one step. The tracker must have been
+    /// [`reset`](ReadyTracker::reset) first, and a lent optimizer must
+    /// already have had `begin_step` called for this step (the worker only
+    /// ever calls `apply`).
+    pub fn begin_step(
+        &mut self,
+        comm: Communicator,
+        step: usize,
+        opt: Option<Box<dyn Optimizer + Send>>,
+    ) {
         assert!(!self.in_flight, "begin_step while a step is in flight");
         self.in_flight = true;
         self.jobs
             .as_ref()
             .expect("engine not shut down")
-            .send(StepJob { comm, step })
+            .send(StepJob { comm, step, opt })
             .expect("comm progress thread alive");
     }
 
     /// Joins the in-flight step: releases any buckets backward never
     /// notified, blocks until the progress thread finishes, and returns
-    /// the communicator with the step's wire bytes, comm-busy seconds, and
-    /// outcome. The caller's blocked time here is the step's *exposed*
-    /// communication.
-    pub fn finish_step(&mut self) -> (Communicator, u64, f64, Result<(), CommError>) {
+    /// the communicator (and any lent optimizer) with the step's wire
+    /// bytes, busy seconds, and outcome. The caller's blocked time here is
+    /// the step's *exposed* communication-plus-apply tail.
+    pub fn finish_step(&mut self) -> StepOutcome {
         assert!(self.in_flight, "finish_step without begin_step");
         self.tracker.flush();
         let done = self.done.recv().expect("comm progress thread alive");
         self.in_flight = false;
-        (done.comm, done.wire_bytes, done.busy_s, done.result)
+        done
     }
 }
 

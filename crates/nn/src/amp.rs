@@ -89,6 +89,8 @@ pub struct AmpOptimizer<O: Optimizer> {
     inner: O,
     scaler: DynamicLossScaler,
     sync: fn(&mut O, f32),
+    /// Whether the step opened by the last `begin_step` applies updates.
+    apply_gate: bool,
 }
 
 impl<O: Optimizer> AmpOptimizer<O> {
@@ -99,6 +101,7 @@ impl<O: Optimizer> AmpOptimizer<O> {
             inner,
             scaler: DynamicLossScaler::new(initial_scale),
             sync: sync_grad_scale,
+            apply_gate: true,
         };
         let s = amp.scaler.scale();
         (amp.sync)(&mut amp.inner, s);
@@ -122,13 +125,46 @@ impl<O: Optimizer> AmpOptimizer<O> {
 }
 
 impl<O: Optimizer> Optimizer for AmpOptimizer<O> {
-    fn step(&mut self, params: &ParamSet) {
+    /// Decides the skip-or-apply gate for this step. Note the overflow
+    /// scan reads the gradients, so unlike plain optimizers AMP's
+    /// `begin_step` cannot run before backward — which is why the
+    /// trainers' fused bucket-apply path wraps unscaled optimizers only.
+    fn begin_step(&mut self, params: &ParamSet) {
         let overflow = grads_overflowed(params);
-        if self.scaler.update(overflow) {
-            self.inner.step(params);
+        self.apply_gate = self.scaler.update(overflow);
+        if self.apply_gate {
+            self.inner.begin_step(params);
+        }
+    }
+
+    fn apply(&mut self, params: &ParamSet, id: usize) {
+        if self.apply_gate {
+            self.inner.apply(params, id);
+        } else {
+            params.param(id).zero_grad();
+        }
+    }
+
+    fn apply_all_par(&mut self, params: &ParamSet) {
+        if self.apply_gate {
+            self.inner.apply_all_par(params);
         } else {
             params.zero_grads();
         }
+    }
+
+    fn step(&mut self, params: &ParamSet) {
+        self.begin_step(params);
+        for id in 0..params.len() {
+            self.apply(params, id);
+        }
+        let s = self.scaler.scale();
+        (self.sync)(&mut self.inner, s);
+    }
+
+    fn par_step(&mut self, params: &ParamSet) {
+        self.begin_step(params);
+        self.apply_all_par(params);
         let s = self.scaler.scale();
         (self.sync)(&mut self.inner, s);
     }

@@ -12,16 +12,36 @@
 //!
 //! All optimizers divide incoming gradients by `grad_scale` (the FP16
 //! loss-scaling compensation) before updating `f32` master weights.
+//!
+//! **The fused optimizer plane.** Every update is a single
+//! read-modify-write sweep over the parameter (grad-scale ÷, weight
+//! decay, momentum/moments, parameter write fused into one SIMD kernel —
+//! [`simd::vsgd_update`] / [`simd::vadam_update`]), and the step is split
+//! into [`Optimizer::begin_step`] (bind index-addressed state, advance
+//! per-step scalars — runs *before* backward in overlap mode, so it must
+//! not read gradients) followed by one [`Optimizer::apply`] per
+//! parameter. Because each parameter's update touches only that
+//! parameter's tensors and state slot, `apply` calls may run in any
+//! order, from any thread, and in parallel — which is what lets the comm
+//! engine apply a fusion bucket's updates on the progress thread the
+//! moment the bucket's all-reduce lands, and the serial path spread the
+//! step over the kernel pool ([`Optimizer::par_step`]). State buffers are
+//! pool-backed `Vec<f32>`s addressed by the parameter's registration
+//! index; names are captured once at bind time and consulted only by
+//! `export_state`/`import_state`, so the hot path performs zero fresh
+//! allocations and the serialized state layout is unchanged from the
+//! legacy name-keyed representation.
 
 use crate::param::ParamSet;
-use exaclim_tensor::profile::{self, KernelKind, Phase};
-use exaclim_tensor::Tensor;
-use std::collections::HashMap;
+use exaclim_tensor::simd::{self, AdamCoeffs, SgdCoeffs};
+use exaclim_tensor::{pool, profile, Tensor};
+use rayon::prelude::*;
+use std::collections::VecDeque;
 
 /// A serializable snapshot of an optimizer's internal state — momentum
 /// velocities, Adam moments, gradient-lag queues — as named `f32`
 /// vectors, **sorted by name** so the byte encoding is deterministic
-/// regardless of internal hash-map order.
+/// regardless of internal storage order.
 ///
 /// The snapshot travels two ways: as an optional section of an EXCK
 /// checkpoint (warm restarts instead of cold optimizer state) and as a
@@ -108,11 +128,51 @@ impl OptState {
     }
 }
 
-/// A parameter-set optimizer.
+/// A parameter-set optimizer, structured as `begin_step` + per-parameter
+/// `apply` so updates can run for any subset of parameters, in any
+/// order, from any thread — the contract the comm engine's bucket-apply
+/// path and the thread-pool `par_step` both rely on.
 pub trait Optimizer {
+    /// Opens a step over `params`: binds index-addressed state buffers to
+    /// the set's registration order and advances per-step scalars (Adam's
+    /// bias correction, lag readiness, warm-up ramps). In fused-overlap
+    /// mode this runs on the main thread *before* backward produces
+    /// gradients, so implementations must not read gradient values here.
+    fn begin_step(&mut self, params: &ParamSet);
+
+    /// Applies the update for the parameter at registration index `id`
+    /// (using the gradient currently stored in it) and zeroes its
+    /// gradient. Must be called exactly once per parameter per begun
+    /// step; calls for distinct `id`s are independent, so any order —
+    /// and any thread — produces identical bits.
+    fn apply(&mut self, params: &ParamSet, id: usize);
+
+    /// Applies every parameter of an already-begun step, spreading the
+    /// per-parameter updates over the kernel thread pool where the
+    /// implementation supports it. Default: serial loop over [`Optimizer::apply`].
+    fn apply_all_par(&mut self, params: &ParamSet) {
+        for id in 0..params.len() {
+            self.apply(params, id);
+        }
+    }
+
     /// Applies one update using the gradients currently stored in `params`
-    /// and zeroes them afterwards.
-    fn step(&mut self, params: &ParamSet);
+    /// and zeroes them afterwards: `begin_step` plus `apply` for every
+    /// parameter in canonical (registration) order.
+    fn step(&mut self, params: &ParamSet) {
+        self.begin_step(params);
+        for id in 0..params.len() {
+            self.apply(params, id);
+        }
+    }
+
+    /// [`Optimizer::step`], with the per-parameter applies spread over the
+    /// kernel thread pool. Bit-identical to `step` because per-parameter
+    /// updates are independent.
+    fn par_step(&mut self, params: &ParamSet) {
+        self.begin_step(params);
+        self.apply_all_par(params);
+    }
 
     /// Current global learning rate.
     fn lr(&self) -> f32;
@@ -154,16 +214,42 @@ fn check_entry(params: &ParamSet, pname: &str, values: &[f32], what: &str) -> Re
     Ok(())
 }
 
-fn record_optimizer_kernel(scalars: usize) {
-    profile::set_phase(Phase::Optimizer);
-    profile::record(
-        KernelKind::Pointwise,
-        "optimizer_update",
-        (scalars * 4) as u64,
-        (scalars * 8) as u64,
-        (scalars * 4) as u64,
-    );
-    profile::set_phase(Phase::Forward);
+/// Accounts one fused optimizer kernel with its true per-scalar traffic.
+/// The category is set explicitly rather than via the global `Phase`:
+/// bucket applies run on the comm progress thread concurrently with the
+/// main thread's backward phase, and must not be mis-filed under it.
+fn record_optim(name: &'static str, scalars: usize, flops: u64, read: u64, written: u64) {
+    let n = scalars as u64;
+    profile::record_raw(profile::KernelRecord {
+        category: profile::Category::Optimizer,
+        name,
+        flops: flops * n,
+        bytes_read: read * n,
+        bytes_written: written * n,
+    });
+}
+
+/// Accounts the LARC/LARS `‖w‖`/`‖g‖` norm pass over one parameter:
+/// 2 flops per scalar per tensor (multiply + accumulate), both tensors
+/// read, nothing written.
+fn record_norms(name: &'static str, scalars: usize) {
+    record_optim(name, scalars, 4, 8, 0);
+}
+
+/// The LARC gradient rescale for one tensor, expressed exactly as the
+/// legacy two-pass code did: no rescale at all for an all-zero gradient,
+/// and no rescale when the clipped ratio is within `f32::EPSILON` of 1.
+fn larc_grad_mul(trust: f32, eps: f32, lr: f32, wd: f32, w_norm: f32, g_norm: f32) -> Option<f32> {
+    if g_norm == 0.0 {
+        return None;
+    }
+    let local = trust * w_norm / (g_norm + wd * w_norm + eps);
+    let ratio = local.min(lr) / lr;
+    if (ratio - 1.0).abs() > f32::EPSILON {
+        Some(ratio)
+    } else {
+        None
+    }
 }
 
 /// Stochastic gradient descent with momentum and weight decay.
@@ -175,7 +261,10 @@ pub struct Sgd {
     pub weight_decay: f32,
     /// FP16 loss-scale compensation divisor.
     pub grad_scale: f32,
-    velocity: HashMap<String, Vec<f32>>,
+    /// Pool-backed velocity buffers addressed by registration index.
+    velocity: Vec<Vec<f32>>,
+    /// Parameter names captured at bind time (export/import only).
+    names: Vec<String>,
 }
 
 impl Sgd {
@@ -186,30 +275,73 @@ impl Sgd {
             momentum: 0.9,
             weight_decay: 0.0,
             grad_scale: 1.0,
-            velocity: HashMap::new(),
+            velocity: Vec::new(),
+            names: Vec::new(),
         }
+    }
+
+    /// Rebuilds the index-addressed state for `params`, recycling the old
+    /// buffers into the pool.
+    fn rebind(&mut self, params: &ParamSet) {
+        for v in self.velocity.drain(..) {
+            pool::recycle(v);
+        }
+        self.names = params.iter().map(|p| p.name()).collect();
+        self.velocity = params.iter().map(|p| pool::take_zeroed(p.numel())).collect();
+    }
+
+    fn bind(&mut self, params: &ParamSet) {
+        if self.velocity.len() != params.len() {
+            self.rebind(params);
+        }
+    }
+
+    fn coeffs(&self) -> SgdCoeffs {
+        SgdCoeffs {
+            lr: self.lr,
+            momentum: self.momentum,
+            weight_decay: self.weight_decay,
+            grad_scale: self.grad_scale,
+            grad_mul: None,
+        }
+    }
+
+    /// One fused update for parameter `id`, with an optional LARC/LARS
+    /// gradient rescale folded into the pass.
+    fn apply_with_mul(&mut self, params: &ParamSet, id: usize, grad_mul: Option<f32>) {
+        let p = params.param(id);
+        let k = SgdCoeffs { grad_mul, ..self.coeffs() };
+        sgd_apply_one(p, &mut self.velocity[id], k);
+    }
+}
+
+/// The shared fused-SGD body: one kernel pass, gradient zeroed, honest
+/// census (7 flops and 12B read / 8B written per scalar, +1 flop for the
+/// folded rescale).
+fn sgd_apply_one(p: &crate::param::Param, v: &mut [f32], k: SgdCoeffs) {
+    p.apply_update(|w, g| simd::vsgd_update(w, v, g, k));
+    p.zero_grad();
+    if k.grad_mul.is_some() {
+        record_optim("sgd_fused_update_scaled", p.numel(), 8, 12, 8);
+    } else {
+        record_optim("sgd_fused_update", p.numel(), 7, 12, 8);
     }
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &ParamSet) {
-        for p in params.iter() {
-            let name = p.name();
-            let v = self
-                .velocity
-                .entry(name)
-                .or_insert_with(|| vec![0.0; p.numel()]);
-            let (lr, mom, wd, gs) = (self.lr, self.momentum, self.weight_decay, self.grad_scale);
-            p.apply_update(|w, g| {
-                for i in 0..w.len() {
-                    let gi = g[i] / gs + wd * w[i];
-                    v[i] = mom * v[i] + gi;
-                    w[i] -= lr * v[i];
-                }
-            });
-            p.zero_grad();
-            record_optimizer_kernel(p.numel());
-        }
+    fn begin_step(&mut self, params: &ParamSet) {
+        self.bind(params);
+    }
+
+    fn apply(&mut self, params: &ParamSet, id: usize) {
+        self.apply_with_mul(params, id, None);
+    }
+
+    fn apply_all_par(&mut self, params: &ParamSet) {
+        let k = self.coeffs();
+        self.velocity.par_chunks_mut(1).enumerate().for_each(|(id, slot)| {
+            sgd_apply_one(params.param(id), &mut slot[0], k);
+        });
     }
 
     fn lr(&self) -> f32 {
@@ -222,7 +354,7 @@ impl Optimizer for Sgd {
 
     fn export_state(&self) -> OptState {
         let mut out = OptState::default();
-        for (name, v) in &self.velocity {
+        for (name, v) in self.names.iter().zip(self.velocity.iter()) {
             out.push(format!("sgd.v:{name}"), v.clone());
         }
         out.sort();
@@ -230,15 +362,22 @@ impl Optimizer for Sgd {
     }
 
     fn import_state(&mut self, state: &OptState, params: &ParamSet) -> Result<(), String> {
-        self.velocity.clear();
+        self.rebind(params);
         for (name, values) in &state.entries {
             if let Some(pname) = name.strip_prefix("sgd.v:") {
                 check_entry(params, pname, values, "SGD velocity")?;
-                self.velocity.insert(pname.to_string(), values.clone());
+                let id = self.names.iter().position(|n| n == pname).expect("bound from params");
+                self.velocity[id].copy_from_slice(values);
             }
         }
         Ok(())
     }
+}
+
+/// One parameter's Adam state: first and second moment, pool-backed.
+struct AdamSlot {
+    m: Vec<f32>,
+    v: Vec<f32>,
 }
 
 /// Adam (Kingma & Ba) — the optimizer the paper trains Tiramisu with.
@@ -253,8 +392,13 @@ pub struct Adam {
     /// FP16 loss-scale compensation divisor.
     pub grad_scale: f32,
     t: u64,
-    m: HashMap<String, Vec<f32>>,
-    v: HashMap<String, Vec<f32>>,
+    /// Bias corrections `1 − βᵗ`, advanced by `begin_step`.
+    bias1: f32,
+    bias2: f32,
+    /// Pool-backed moment buffers addressed by registration index.
+    moments: Vec<AdamSlot>,
+    /// Parameter names captured at bind time (export/import only).
+    names: Vec<String>,
 }
 
 impl Adam {
@@ -267,35 +411,69 @@ impl Adam {
             eps: 1e-8,
             grad_scale: 1.0,
             t: 0,
-            m: HashMap::new(),
-            v: HashMap::new(),
+            bias1: 1.0,
+            bias2: 1.0,
+            moments: Vec::new(),
+            names: Vec::new(),
+        }
+    }
+
+    fn rebind(&mut self, params: &ParamSet) {
+        for slot in self.moments.drain(..) {
+            pool::recycle(slot.m);
+            pool::recycle(slot.v);
+        }
+        self.names = params.iter().map(|p| p.name()).collect();
+        self.moments = params
+            .iter()
+            .map(|p| AdamSlot {
+                m: pool::take_zeroed(p.numel()),
+                v: pool::take_zeroed(p.numel()),
+            })
+            .collect();
+    }
+
+    fn coeffs(&self) -> AdamCoeffs {
+        AdamCoeffs {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            grad_scale: self.grad_scale,
+            bias1: self.bias1,
+            bias2: self.bias2,
         }
     }
 }
 
+/// The shared fused-Adam body: ~15 flops and 16B read / 12B written per
+/// scalar, in one pass.
+fn adam_apply_one(p: &crate::param::Param, slot: &mut AdamSlot, k: AdamCoeffs) {
+    p.apply_update(|w, g| simd::vadam_update(w, &mut slot.m, &mut slot.v, g, k));
+    p.zero_grad();
+    record_optim("adam_fused_update", p.numel(), 15, 16, 12);
+}
+
 impl Optimizer for Adam {
-    fn step(&mut self, params: &ParamSet) {
-        self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for p in params.iter() {
-            let name = p.name();
-            let m = self.m.entry(name.clone()).or_insert_with(|| vec![0.0; p.numel()]);
-            let v = self.v.entry(name).or_insert_with(|| vec![0.0; p.numel()]);
-            let (lr, b1, b2, eps, gs) = (self.lr, self.beta1, self.beta2, self.eps, self.grad_scale);
-            p.apply_update(|w, g| {
-                for i in 0..w.len() {
-                    let gi = g[i] / gs;
-                    m[i] = b1 * m[i] + (1.0 - b1) * gi;
-                    v[i] = b2 * v[i] + (1.0 - b2) * gi * gi;
-                    let mhat = m[i] / bc1;
-                    let vhat = v[i] / bc2;
-                    w[i] -= lr * mhat / (vhat.sqrt() + eps);
-                }
-            });
-            p.zero_grad();
-            record_optimizer_kernel(p.numel());
+    fn begin_step(&mut self, params: &ParamSet) {
+        if self.moments.len() != params.len() {
+            self.rebind(params);
         }
+        self.t += 1;
+        self.bias1 = 1.0 - self.beta1.powi(self.t as i32);
+        self.bias2 = 1.0 - self.beta2.powi(self.t as i32);
+    }
+
+    fn apply(&mut self, params: &ParamSet, id: usize) {
+        let k = self.coeffs();
+        adam_apply_one(params.param(id), &mut self.moments[id], k);
+    }
+
+    fn apply_all_par(&mut self, params: &ParamSet) {
+        let k = self.coeffs();
+        self.moments.par_chunks_mut(1).enumerate().for_each(|(id, slot)| {
+            adam_apply_one(params.param(id), &mut slot[0], k);
+        });
     }
 
     fn lr(&self) -> f32 {
@@ -309,29 +487,28 @@ impl Optimizer for Adam {
     fn export_state(&self) -> OptState {
         let mut out = OptState::default();
         out.push("adam.t", vec![self.t as f32]);
-        for (name, m) in &self.m {
-            out.push(format!("adam.m:{name}"), m.clone());
-        }
-        for (name, v) in &self.v {
-            out.push(format!("adam.v:{name}"), v.clone());
+        for (name, slot) in self.names.iter().zip(self.moments.iter()) {
+            out.push(format!("adam.m:{name}"), slot.m.clone());
+            out.push(format!("adam.v:{name}"), slot.v.clone());
         }
         out.sort();
         out
     }
 
     fn import_state(&mut self, state: &OptState, params: &ParamSet) -> Result<(), String> {
+        self.rebind(params);
         self.t = 0;
-        self.m.clear();
-        self.v.clear();
         for (name, values) in &state.entries {
             if name == "adam.t" {
                 self.t = values.first().copied().unwrap_or(0.0) as u64;
             } else if let Some(pname) = name.strip_prefix("adam.m:") {
                 check_entry(params, pname, values, "Adam first moment")?;
-                self.m.insert(pname.to_string(), values.clone());
+                let id = self.names.iter().position(|n| n == pname).expect("bound from params");
+                self.moments[id].m.copy_from_slice(values);
             } else if let Some(pname) = name.strip_prefix("adam.v:") {
                 check_entry(params, pname, values, "Adam second moment")?;
-                self.v.insert(pname.to_string(), values.clone());
+                let id = self.names.iter().position(|n| n == pname).expect("bound from params");
+                self.moments[id].v.copy_from_slice(values);
             }
         }
         Ok(())
@@ -343,6 +520,12 @@ impl Optimizer for Adam {
 /// `local_lr = trust · ‖w‖ / (‖g‖ + wd·‖w‖ + ε)`, clipped at the global
 /// rate (`min(local_lr, lr)`). Unlike LARS, no warm-up schedule is needed —
 /// the property the paper highlights in §V-B2.
+///
+/// Fused form: the norms ride the canonical lane-split
+/// [`simd::sum_sq_f64`] reduction and the rescale is folded into the
+/// single SGD update pass as `(g·ratio)/gs` — bit-identical to the
+/// legacy separate `g.scale(ratio)` pass, which performed the same two
+/// `f32` operations in the same order.
 pub struct LarcSgd {
     inner: Sgd,
     /// Trust coefficient η (typically 1e-3…2e-2).
@@ -374,23 +557,36 @@ impl LarcSgd {
     }
 }
 
+/// Norms + fused rescaled update for one parameter under LARC.
+fn larc_apply_one(
+    p: &crate::param::Param,
+    v: &mut [f32],
+    k: SgdCoeffs,
+    trust: f32,
+    eps: f32,
+) {
+    let (w_norm, g_norm) = p.with(|w, g| (w.l2_norm(), g.l2_norm() / k.grad_scale));
+    record_norms("larc_norms", p.numel());
+    let grad_mul = larc_grad_mul(trust, eps, k.lr, k.weight_decay, w_norm, g_norm);
+    sgd_apply_one(p, v, SgdCoeffs { grad_mul, ..k });
+}
+
 impl Optimizer for LarcSgd {
-    fn step(&mut self, params: &ParamSet) {
-        // Rescale each gradient so that the inner SGD's global rate becomes
-        // the LARC effective rate for this tensor.
-        for p in params.iter() {
-            let gs = self.inner.grad_scale;
-            let (w_norm, g_norm) = p.with(|w, g| (w.l2_norm(), g.l2_norm() / gs));
-            if g_norm == 0.0 {
-                continue;
-            }
-            let eff = self.local_lr(w_norm, g_norm);
-            let ratio = eff / self.inner.lr;
-            if (ratio - 1.0).abs() > f32::EPSILON {
-                p.with_mut(|_, g| g.scale(ratio));
-            }
-        }
-        self.inner.step(params);
+    fn begin_step(&mut self, params: &ParamSet) {
+        self.inner.begin_step(params);
+    }
+
+    fn apply(&mut self, params: &ParamSet, id: usize) {
+        let k = self.inner.coeffs();
+        larc_apply_one(params.param(id), &mut self.inner.velocity[id], k, self.trust, self.eps);
+    }
+
+    fn apply_all_par(&mut self, params: &ParamSet) {
+        let k = self.inner.coeffs();
+        let (trust, eps) = (self.trust, self.eps);
+        self.inner.velocity.par_chunks_mut(1).enumerate().for_each(|(id, slot)| {
+            larc_apply_one(params.param(id), &mut slot[0], k, trust, eps);
+        });
     }
 
     fn lr(&self) -> f32 {
@@ -421,8 +617,14 @@ impl Optimizer for LarcSgd {
 pub struct Lagged<O: Optimizer> {
     inner: O,
     depth: usize,
-    stash: HashMap<String, std::collections::VecDeque<Tensor>>,
+    /// Per-parameter gradient queues addressed by registration index.
+    stash: Vec<VecDeque<Tensor>>,
+    /// Parameter names captured at bind time (export/import only).
+    names: Vec<String>,
     seen_steps: usize,
+    /// Whether the step opened by the last `begin_step` applies updates
+    /// (a lagged gradient is available).
+    ready: bool,
 }
 
 impl<O: Optimizer> Lagged<O> {
@@ -437,8 +639,10 @@ impl<O: Optimizer> Lagged<O> {
         Lagged {
             inner,
             depth,
-            stash: HashMap::new(),
+            stash: Vec::new(),
+            names: Vec::new(),
             seen_steps: 0,
+            ready: false,
         }
     }
 
@@ -451,26 +655,60 @@ impl<O: Optimizer> Lagged<O> {
     pub fn depth(&self) -> usize {
         self.depth
     }
+
+    fn bind(&mut self, params: &ParamSet) {
+        if self.stash.len() != params.len() {
+            self.names = params.iter().map(|p| p.name()).collect();
+            self.stash = (0..params.len()).map(|_| VecDeque::new()).collect();
+        }
+    }
+
+    /// Rotates parameter `id`'s queue: stashes the current gradient and,
+    /// when primed, installs the `depth`-old one for the inner update.
+    fn rotate(&mut self, params: &ParamSet, id: usize) {
+        let p = params.param(id);
+        let q = &mut self.stash[id];
+        q.push_back(p.grad());
+        if self.ready {
+            let old = q.pop_front().expect("queue holds depth+1 entries");
+            p.set_grad(old);
+        }
+    }
 }
 
 impl<O: Optimizer> Optimizer for Lagged<O> {
-    fn step(&mut self, params: &ParamSet) {
-        // Enqueue current grads; apply the gradient from `depth` steps ago.
-        let ready = self.seen_steps >= self.depth;
-        for p in params.iter() {
-            let q = self.stash.entry(p.name()).or_default();
-            q.push_back(p.grad());
-            if ready {
-                let old = q.pop_front().expect("queue holds depth+1 entries");
-                p.set_grad(old);
-            }
+    fn begin_step(&mut self, params: &ParamSet) {
+        self.bind(params);
+        self.ready = self.seen_steps >= self.depth;
+        self.seen_steps += 1;
+        // The inner optimizer's step counters advance only when an update
+        // will actually be applied (Adam's `t` must not tick on the
+        // fill-in steps).
+        if self.ready {
+            self.inner.begin_step(params);
         }
-        if ready {
-            self.inner.step(params);
+    }
+
+    fn apply(&mut self, params: &ParamSet, id: usize) {
+        self.rotate(params, id);
+        if self.ready {
+            self.inner.apply(params, id);
+        } else {
+            params.param(id).zero_grad();
+        }
+    }
+
+    fn apply_all_par(&mut self, params: &ParamSet) {
+        // Queue rotation is cheap pointer shuffling — serial; the inner
+        // updates carry the arithmetic and parallelize.
+        for id in 0..params.len() {
+            self.rotate(params, id);
+        }
+        if self.ready {
+            self.inner.apply_all_par(params);
         } else {
             params.zero_grads();
         }
-        self.seen_steps += 1;
     }
 
     fn lr(&self) -> f32 {
@@ -484,7 +722,7 @@ impl<O: Optimizer> Optimizer for Lagged<O> {
     fn export_state(&self) -> OptState {
         let mut out = self.inner.export_state();
         out.push("lag.seen", vec![self.seen_steps as f32]);
-        for (name, q) in &self.stash {
+        for (name, q) in self.names.iter().zip(self.stash.iter()) {
             for (i, t) in q.iter().enumerate() {
                 out.push(format!("lag.q:{name}#{i:04}"), t.as_slice().to_vec());
             }
@@ -495,7 +733,8 @@ impl<O: Optimizer> Optimizer for Lagged<O> {
 
     fn import_state(&mut self, state: &OptState, params: &ParamSet) -> Result<(), String> {
         self.inner.import_state(state, params)?;
-        self.stash.clear();
+        self.names = params.iter().map(|p| p.name()).collect();
+        self.stash = (0..params.len()).map(|_| VecDeque::new()).collect();
         self.seen_steps = state
             .get("lag.seen")
             .and_then(|v| v.first().copied())
@@ -511,10 +750,8 @@ impl<O: Optimizer> Optimizer for Lagged<O> {
                 let p = params.get(pname).expect("checked above");
                 let shape = p.value().shape().clone();
                 let dtype = p.with(|_, g| g.dtype());
-                self.stash
-                    .entry(pname.to_string())
-                    .or_default()
-                    .push_back(Tensor::from_vec(shape, dtype, values.clone()));
+                let id = self.names.iter().position(|n| n == pname).expect("bound from params");
+                self.stash[id].push_back(Tensor::from_vec(shape, dtype, values.clone()));
             }
         }
         Ok(())
@@ -534,6 +771,8 @@ pub struct Lars {
     pub warmup_steps: u32,
     step: u32,
     eps: f32,
+    /// Warm-up factor for the step opened by the last `begin_step`.
+    warm: f32,
 }
 
 impl Lars {
@@ -545,6 +784,7 @@ impl Lars {
             warmup_steps,
             step: 0,
             eps: 1e-9,
+            warm: 1.0,
         }
     }
 
@@ -563,22 +803,27 @@ impl Lars {
 }
 
 impl Optimizer for Lars {
-    fn step(&mut self, params: &ParamSet) {
-        let warm = self.warmup_factor();
-        for p in params.iter() {
-            let gs = self.inner.grad_scale;
-            let wd = self.inner.weight_decay;
-            let (w_norm, g_norm) = p.with(|w, g| (w.l2_norm(), g.l2_norm() / gs));
-            if g_norm == 0.0 {
-                continue;
-            }
-            // Unclipped local rate times the warm-up ramp, expressed as a
-            // gradient rescale so the inner SGD's lr applies it.
-            let lambda = self.trust * w_norm / (g_norm + wd * w_norm + self.eps);
-            p.with_mut(|_, g| g.scale(lambda * warm));
-        }
-        self.inner.step(params);
+    fn begin_step(&mut self, params: &ParamSet) {
+        self.warm = self.warmup_factor();
         self.step += 1;
+        self.inner.begin_step(params);
+    }
+
+    fn apply(&mut self, params: &ParamSet, id: usize) {
+        let p = params.param(id);
+        let gs = self.inner.grad_scale;
+        let wd = self.inner.weight_decay;
+        let (w_norm, g_norm) = p.with(|w, g| (w.l2_norm(), g.l2_norm() / gs));
+        record_norms("lars_norms", p.numel());
+        // Unclipped local rate times the warm-up ramp, folded into the
+        // fused pass as a gradient rescale so the inner SGD's lr applies it.
+        let grad_mul = if g_norm == 0.0 {
+            None
+        } else {
+            let lambda = self.trust * w_norm / (g_norm + wd * w_norm + self.eps);
+            Some(lambda * self.warm)
+        };
+        self.inner.apply_with_mul(params, id, grad_mul);
     }
 
     fn lr(&self) -> f32 {
@@ -927,5 +1172,134 @@ mod tests {
         let mut foreign = OptState::default();
         foreign.push("adam.t", vec![3.0]);
         assert!(opt.import_state(&foreign, &set).is_ok());
+    }
+
+    // ---- fused-plane contract tests -----------------------------------
+
+    /// A small multi-tensor set with odd lengths (SIMD remainder lanes).
+    fn toy_set(seed: u32) -> ParamSet {
+        let mut set = ParamSet::new();
+        for (i, n) in [37usize, 8, 129, 5].into_iter().enumerate() {
+            let vals: Vec<f32> = (0..n)
+                .map(|j| {
+                    let k = (j as u32).wrapping_mul(2654435761).wrapping_add(seed + i as u32);
+                    (k % 1000) as f32 * 0.0021 - 1.05
+                })
+                .collect();
+            set.push(Param::new(format!("p{i}"), Tensor::from_vec([n], DType::F32, vals)));
+        }
+        set
+    }
+
+    fn seed_grads(set: &ParamSet, seed: u32) {
+        for (i, p) in set.iter().enumerate() {
+            let n = p.numel();
+            let vals: Vec<f32> = (0..n)
+                .map(|j| {
+                    let k = (j as u32).wrapping_mul(0x9e3779b9).wrapping_add(seed * 31 + i as u32);
+                    (k % 997) as f32 * 0.004 - 2.0
+                })
+                .collect();
+            p.set_grad(Tensor::from_vec([n], DType::F32, vals));
+        }
+    }
+
+    fn builders() -> Vec<(&'static str, fn() -> Box<dyn Optimizer>)> {
+        vec![
+            ("sgd", || Box::new(Sgd::new(0.05))),
+            ("adam", || Box::new(Adam::new(0.01))),
+            ("larc", || {
+                let mut o = LarcSgd::new(0.05, 0.01);
+                o.sgd_mut().weight_decay = 1e-4;
+                Box::new(o)
+            }),
+            ("lagged", || Box::new(Lagged::new(Sgd::new(0.05)))),
+            ("lars", || Box::new(Lars::new(0.05, 0.5, 10))),
+        ]
+    }
+
+    /// `par_step`, out-of-order `apply`, and serial `step` must produce
+    /// identical bits — the order-invariance the bucket-apply path rests on.
+    #[test]
+    fn apply_order_and_parallelism_are_bit_invariant() {
+        for (tag, build) in builders() {
+            let runs: Vec<u64> = (0..3)
+                .map(|mode| {
+                    let set = toy_set(7);
+                    let mut opt = build();
+                    for s in 0..4u32 {
+                        seed_grads(&set, s);
+                        match mode {
+                            0 => opt.step(&set),
+                            1 => opt.par_step(&set),
+                            _ => {
+                                // Reversed apply order: buckets land back-to-front.
+                                opt.begin_step(&set);
+                                for id in (0..set.len()).rev() {
+                                    opt.apply(&set, id);
+                                }
+                            }
+                        }
+                    }
+                    set.state_hash()
+                })
+                .collect();
+            assert_eq!(runs[0], runs[1], "{tag}: par_step differs from step");
+            assert_eq!(runs[0], runs[2], "{tag}: apply order changed the bits");
+        }
+    }
+
+    /// Export/import round-trips bitwise across the serial and parallel
+    /// execution modes — the "fused ↔ legacy layout" checkpoint crossing.
+    #[test]
+    fn state_crosses_step_modes_bitwise() {
+        for (tag, build) in builders() {
+            let set_a = toy_set(11);
+            let mut a = build();
+            for s in 0..3u32 {
+                seed_grads(&set_a, s);
+                a.step(&set_a);
+            }
+            let snapshot = a.export_state();
+
+            // Continue serially...
+            for s in 3..5u32 {
+                seed_grads(&set_a, s);
+                a.step(&set_a);
+            }
+            // ...and in a replica restored from the snapshot that continues
+            // with parallel fused steps.
+            let set_b = toy_set(11);
+            let mut b = build();
+            for s in 0..3u32 {
+                seed_grads(&set_b, s);
+                b.step(&set_b);
+            }
+            b.import_state(&snapshot, &set_b).expect("import");
+            for s in 3..5u32 {
+                seed_grads(&set_b, s);
+                b.par_step(&set_b);
+            }
+            assert_eq!(set_a.state_hash(), set_b.state_hash(), "{tag}: mode crossing drifted");
+        }
+    }
+
+    /// The hot step path performs zero fresh pool allocations once state
+    /// is bound.
+    #[test]
+    fn steady_state_step_is_allocation_free() {
+        for (tag, build) in builders() {
+            let set = toy_set(23);
+            let mut opt = build();
+            for s in 0..3u32 {
+                seed_grads(&set, s);
+                opt.step(&set);
+            }
+            seed_grads(&set, 100);
+            let before = pool::stats();
+            opt.step(&set);
+            let delta = pool::stats().since(&before);
+            assert_eq!(delta.fresh_allocs, 0, "{tag}: optimizer step allocated");
+        }
     }
 }

@@ -143,12 +143,11 @@ impl Param {
     /// receive `(value, grad)` slices of equal length.
     pub fn apply_update(&self, f: impl FnOnce(&mut [f32], &[f32])) {
         let mut g = self.0.write();
-        let inner = &mut *g;
-        // Split the borrow: value mutably, grad immutably.
-        let grad_copy: &Tensor = &inner.grad;
-        let gslice: Vec<f32> = grad_copy.as_slice().to_vec();
-        f(inner.value.as_mut_slice(), &gslice);
-        inner.value.requantize();
+        // Split the borrow field-wise: value mutably, grad immutably —
+        // no gradient copy on the per-step hot path.
+        let ParamInner { value, grad, .. } = &mut *g;
+        f(value.as_mut_slice(), grad.as_slice());
+        value.requantize();
     }
 
     /// Bitwise hash of the value (replica-consistency checks).
@@ -215,6 +214,12 @@ impl ParamSet {
     /// Looks a parameter up by name.
     pub fn get(&self, name: &str) -> Option<&Param> {
         self.params.iter().find(|p| p.name() == name)
+    }
+
+    /// The parameter at registration index `idx` — the stable tensor id
+    /// the fused optimizer plane and the fusion buckets address by.
+    pub fn param(&self, idx: usize) -> &Param {
+        &self.params[idx]
     }
 
     /// Fires the gradient-ready hook of every parameter in the set. Layer

@@ -978,6 +978,58 @@ unsafe fn sum2_f64_avx2(g: &[f32], xh: &[f32]) -> (f64, f64) {
     (a, b)
 }
 
+/// Σ `(x[i] as f64)²` in the canonical 4-lane order (widen to `f64`,
+/// *then* square — the precision [`crate::Tensor::l2_norm`] has always
+/// used). This is the one reduction the LARC/LARS per-tensor norms ride,
+/// so the lane-split order here is the canonical norm order for the
+/// whole stack: legacy serial steps and fused bucket-applies compute
+/// identical `‖w‖`/`‖g‖` bits because they share this kernel.
+#[inline]
+pub fn sum_sq_f64(x: &[f32]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if active_level() == SimdLevel::Avx2 {
+        return unsafe { sum_sq_f64_avx2(x) };
+    }
+    let mut lanes = [0.0f64; 4];
+    let chunks = x.chunks_exact(4);
+    let rem = chunks.remainder();
+    for ch in chunks {
+        for (l, &v) in lanes.iter_mut().zip(ch.iter()) {
+            let d = v as f64;
+            *l += d * d;
+        }
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for &v in rem {
+        let d = v as f64;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sum_sq_f64_avx2(x: &[f32]) -> f64 {
+    use std::arch::x86_64::*;
+    let n = x.len();
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let v = _mm256_cvtps_pd(_mm_loadu_ps(x.as_ptr().add(i)));
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(v, v));
+        i += 4;
+    }
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    let mut total = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    while i < n {
+        let d = *x.get_unchecked(i) as f64;
+        total += d * d;
+        i += 1;
+    }
+    total
+}
+
 /// Σ `x[i]` in `f32` in the canonical 8-lane order: lane `j` accumulates
 /// elements `j, j+8, …`; lanes combine `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`;
 /// the tail adds sequentially.
@@ -1023,6 +1075,204 @@ unsafe fn sum_f32_avx2(x: &[f32]) -> f32 {
         i += 1;
     }
     total
+}
+
+// ---------------------------------------------------------------------------
+// Fused optimizer updates (one read-modify-write pass per parameter tensor)
+// ---------------------------------------------------------------------------
+
+/// Coefficients for the fused SGD-momentum / LARC update pass.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdCoeffs {
+    /// Global learning rate.
+    pub lr: f32,
+    /// Momentum coefficient.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// FP16 loss-scale compensation divisor (gradients are *divided* by
+    /// it — never multiplied by a reciprocal, which would change bits).
+    pub grad_scale: f32,
+    /// Optional pre-division gradient rescale: the LARC/LARS local-rate
+    /// ratio folded into the single pass. `None` skips the multiply
+    /// entirely (a `×1.0` is *not* a no-op for NaN payloads and signed
+    /// zeros, and the legacy rescale pass was conditional too).
+    pub grad_mul: Option<f32>,
+}
+
+/// Fused SGD-momentum update, one pass:
+/// `gi = (g[i]·grad_mul?) / gs + wd·w[i]; v[i] = mom·v[i] + gi;
+/// w[i] -= lr·v[i]` — grad-scale division, weight decay, momentum and
+/// the parameter write in a single read-modify-write sweep. Vectorized
+/// across independent elements with separate mul/add/div intrinsics
+/// (no FMA), so every element sees the identical IEEE op sequence as the
+/// scalar fallback — and as the pre-fusion multi-pass code.
+#[inline]
+pub fn vsgd_update(w: &mut [f32], v: &mut [f32], g: &[f32], k: SgdCoeffs) {
+    // Hard check: the AVX2 body indexes all three slices unchecked, and a
+    // mis-sized optimizer state buffer must not become UB.
+    assert!(w.len() == v.len() && w.len() == g.len());
+    #[cfg(target_arch = "x86_64")]
+    if active_level() == SimdLevel::Avx2 {
+        unsafe { vsgd_update_avx2(w, v, g, k) };
+        return;
+    }
+    let (lr, mom, wd, gs) = (k.lr, k.momentum, k.weight_decay, k.grad_scale);
+    match k.grad_mul {
+        Some(r) => {
+            for i in 0..w.len() {
+                let gi = (g[i] * r) / gs + wd * w[i];
+                v[i] = mom * v[i] + gi;
+                w[i] -= lr * v[i];
+            }
+        }
+        None => {
+            for i in 0..w.len() {
+                let gi = g[i] / gs + wd * w[i];
+                v[i] = mom * v[i] + gi;
+                w[i] -= lr * v[i];
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn vsgd_update_avx2(w: &mut [f32], v: &mut [f32], g: &[f32], k: SgdCoeffs) {
+    use std::arch::x86_64::*;
+    let n = w.len();
+    let vlr = _mm256_set1_ps(k.lr);
+    let vmom = _mm256_set1_ps(k.momentum);
+    let vwd = _mm256_set1_ps(k.weight_decay);
+    let vgs = _mm256_set1_ps(k.grad_scale);
+    let vr = _mm256_set1_ps(k.grad_mul.unwrap_or(1.0));
+    let scaled = k.grad_mul.is_some();
+    let mut i = 0;
+    while i + 8 <= n {
+        let wv = _mm256_loadu_ps(w.as_ptr().add(i));
+        let mut gv = _mm256_loadu_ps(g.as_ptr().add(i));
+        if scaled {
+            gv = _mm256_mul_ps(gv, vr);
+        }
+        // gi = g/gs + wd·w, v = mom·v + gi, w = w − lr·v — div, mul,
+        // add, mul, add, mul, sub: the scalar sequence exactly.
+        let gi = _mm256_add_ps(_mm256_div_ps(gv, vgs), _mm256_mul_ps(vwd, wv));
+        let vv = _mm256_add_ps(_mm256_mul_ps(vmom, _mm256_loadu_ps(v.as_ptr().add(i))), gi);
+        _mm256_storeu_ps(v.as_mut_ptr().add(i), vv);
+        _mm256_storeu_ps(w.as_mut_ptr().add(i), _mm256_sub_ps(wv, _mm256_mul_ps(vlr, vv)));
+        i += 8;
+    }
+    let (lr, mom, wd, gs) = (k.lr, k.momentum, k.weight_decay, k.grad_scale);
+    while i < n {
+        let mut gv = *g.get_unchecked(i);
+        if let Some(r) = k.grad_mul {
+            gv *= r;
+        }
+        let wi = w.get_unchecked_mut(i);
+        let vi = v.get_unchecked_mut(i);
+        let gi = gv / gs + wd * *wi;
+        *vi = mom * *vi + gi;
+        *wi -= lr * *vi;
+        i += 1;
+    }
+}
+
+/// Coefficients for the fused Adam update pass. `bias1`/`bias2` are the
+/// step-dependent corrections `1 − βᵗ`, computed once per step by the
+/// caller so the kernel stays a pure elementwise map.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamCoeffs {
+    /// Global learning rate.
+    pub lr: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// FP16 loss-scale compensation divisor.
+    pub grad_scale: f32,
+    /// `1 − β₁ᵗ`.
+    pub bias1: f32,
+    /// `1 − β₂ᵗ`.
+    pub bias2: f32,
+}
+
+/// Fused Adam update, one pass: moment updates, bias correction and the
+/// parameter write in a single sweep. Per element (matching the scalar
+/// parse exactly, including `((1−β₂)·gi)·gi` association):
+/// `gi = g[i]/gs; m = β₁·m + (1−β₁)·gi; v = β₂·v + (1−β₂)·gi·gi;
+/// w -= (lr·(m/b₁)) / (√(v/b₂) + ε)`. `_mm256_sqrt_ps` and
+/// `_mm256_div_ps` are correctly rounded, so vector and scalar bits
+/// agree.
+#[inline]
+pub fn vadam_update(w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], k: AdamCoeffs) {
+    // Hard check, as in `vsgd_update`: unchecked lanes below.
+    assert!(w.len() == m.len() && w.len() == v.len() && w.len() == g.len());
+    #[cfg(target_arch = "x86_64")]
+    if active_level() == SimdLevel::Avx2 {
+        unsafe { vadam_update_avx2(w, m, v, g, k) };
+        return;
+    }
+    let (lr, b1, b2, eps, gs) = (k.lr, k.beta1, k.beta2, k.eps, k.grad_scale);
+    for i in 0..w.len() {
+        let gi = g[i] / gs;
+        m[i] = b1 * m[i] + (1.0 - b1) * gi;
+        v[i] = b2 * v[i] + (1.0 - b2) * gi * gi;
+        let mhat = m[i] / k.bias1;
+        let vhat = v[i] / k.bias2;
+        w[i] -= lr * mhat / (vhat.sqrt() + eps);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn vadam_update_avx2(w: &mut [f32], m: &mut [f32], v: &mut [f32], g: &[f32], k: AdamCoeffs) {
+    use std::arch::x86_64::*;
+    let n = w.len();
+    let vlr = _mm256_set1_ps(k.lr);
+    let vb1 = _mm256_set1_ps(k.beta1);
+    let vb2 = _mm256_set1_ps(k.beta2);
+    let vomb1 = _mm256_set1_ps(1.0 - k.beta1);
+    let vomb2 = _mm256_set1_ps(1.0 - k.beta2);
+    let veps = _mm256_set1_ps(k.eps);
+    let vgs = _mm256_set1_ps(k.grad_scale);
+    let vbc1 = _mm256_set1_ps(k.bias1);
+    let vbc2 = _mm256_set1_ps(k.bias2);
+    let mut i = 0;
+    while i + 8 <= n {
+        let gi = _mm256_div_ps(_mm256_loadu_ps(g.as_ptr().add(i)), vgs);
+        let mv = _mm256_add_ps(
+            _mm256_mul_ps(vb1, _mm256_loadu_ps(m.as_ptr().add(i))),
+            _mm256_mul_ps(vomb1, gi),
+        );
+        // ((1−β₂)·gi)·gi — left-associated like the scalar expression.
+        let vv = _mm256_add_ps(
+            _mm256_mul_ps(vb2, _mm256_loadu_ps(v.as_ptr().add(i))),
+            _mm256_mul_ps(_mm256_mul_ps(vomb2, gi), gi),
+        );
+        _mm256_storeu_ps(m.as_mut_ptr().add(i), mv);
+        _mm256_storeu_ps(v.as_mut_ptr().add(i), vv);
+        let mhat = _mm256_div_ps(mv, vbc1);
+        let vhat = _mm256_div_ps(vv, vbc2);
+        let denom = _mm256_add_ps(_mm256_sqrt_ps(vhat), veps);
+        let upd = _mm256_div_ps(_mm256_mul_ps(vlr, mhat), denom);
+        let wv = _mm256_loadu_ps(w.as_ptr().add(i));
+        _mm256_storeu_ps(w.as_mut_ptr().add(i), _mm256_sub_ps(wv, upd));
+        i += 8;
+    }
+    let (lr, b1, b2, eps, gs) = (k.lr, k.beta1, k.beta2, k.eps, k.grad_scale);
+    while i < n {
+        let gi = *g.get_unchecked(i) / gs;
+        let mi = m.get_unchecked_mut(i);
+        let vi = v.get_unchecked_mut(i);
+        *mi = b1 * *mi + (1.0 - b1) * gi;
+        *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+        let mhat = *mi / k.bias1;
+        let vhat = *vi / k.bias2;
+        *w.get_unchecked_mut(i) -= lr * mhat / (vhat.sqrt() + eps);
+        i += 1;
+    }
 }
 
 #[cfg(test)]
@@ -1117,6 +1367,7 @@ mod tests {
             let a = data(n, 7);
             let b = data(n, 8);
             bitwise_on_off(|| sum_f64(&a).to_bits());
+            bitwise_on_off(|| sum_sq_f64(&a).to_bits());
             bitwise_on_off(|| sum_sqdiff_f64(&a, 0.37).to_bits());
             bitwise_on_off(|| {
                 let (x, y) = sum2_f64(&a, &b);
@@ -1142,6 +1393,96 @@ mod tests {
             vbn_backward(&g, &x, 0.01, 1.3, -0.4, 77.0, &mut gx);
             gx
         });
+    }
+
+    #[test]
+    fn fused_sgd_update_matches_bitwise_on_odd_lengths() {
+        for n in [1usize, 7, 8, 9, 31, 100, 1023] {
+            for grad_mul in [None, Some(0.37f32)] {
+                let w0 = data(n, 11);
+                let v0 = data(n, 12);
+                let g = data(n, 13);
+                let k = SgdCoeffs {
+                    lr: 0.05,
+                    momentum: 0.9,
+                    weight_decay: 1e-4,
+                    grad_scale: 128.0,
+                    grad_mul,
+                };
+                bitwise_on_off(|| {
+                    let mut w = w0.clone();
+                    let mut v = v0.clone();
+                    vsgd_update(&mut w, &mut v, &g, k);
+                    (w, v)
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sgd_update_matches_legacy_multipass_bitwise() {
+        // The fused kernel must reproduce the pre-fusion op sequence
+        // exactly: a separate `g *= ratio` rescale pass followed by the
+        // scalar momentum loop.
+        let n = 217;
+        let w0 = data(n, 14);
+        let v0 = data(n, 15);
+        let g0 = data(n, 16);
+        let (lr, mom, wd, gs, ratio) = (0.1f32, 0.9f32, 3e-4f32, 64.0f32, 0.213f32);
+        let mut w_legacy = w0.clone();
+        let mut v_legacy = v0.clone();
+        let mut g = g0.clone();
+        for x in g.iter_mut() {
+            *x *= ratio;
+        }
+        for i in 0..n {
+            let gi = g[i] / gs + wd * w_legacy[i];
+            v_legacy[i] = mom * v_legacy[i] + gi;
+            w_legacy[i] -= lr * v_legacy[i];
+        }
+        for on in [true, false] {
+            set_simd_enabled(on);
+            let mut w = w0.clone();
+            let mut v = v0.clone();
+            let k = SgdCoeffs {
+                lr,
+                momentum: mom,
+                weight_decay: wd,
+                grad_scale: gs,
+                grad_mul: Some(ratio),
+            };
+            vsgd_update(&mut w, &mut v, &g0, k);
+            assert_eq!(w, w_legacy, "simd={on}");
+            assert_eq!(v, v_legacy, "simd={on}");
+        }
+        set_simd_enabled(true);
+    }
+
+    #[test]
+    fn fused_adam_update_matches_bitwise_on_odd_lengths() {
+        for n in [1usize, 7, 8, 9, 31, 100, 1023] {
+            let w0 = data(n, 17);
+            let m0: Vec<f32> = data(n, 18).iter().map(|v| v * 0.01).collect();
+            // Second moments must be non-negative for the sqrt.
+            let v0: Vec<f32> = data(n, 19).iter().map(|v| v * v * 1e-4).collect();
+            let g = data(n, 20);
+            let k = AdamCoeffs {
+                lr: 0.001,
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+                grad_scale: 32.0,
+                bias1: 1.0 - 0.9f32.powi(7),
+                bias2: 1.0 - 0.999f32.powi(7),
+            };
+            bitwise_on_off(|| {
+                let mut w = w0.clone();
+                let mut m = m0.clone();
+                let mut v = v0.clone();
+                vadam_update(&mut w, &mut m, &mut v, &g, k);
+                (w, m, v)
+            });
+        }
     }
 
     #[test]

@@ -264,9 +264,11 @@ impl Tensor {
         self.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()))
     }
 
-    /// L2 norm of the flattened tensor.
+    /// L2 norm of the flattened tensor, accumulated in the canonical
+    /// lane-split order of [`crate::simd::sum_sq_f64`] so serial and
+    /// fused/bucketed optimizer paths see identical LARC norm bits.
     pub fn l2_norm(&self) -> f32 {
-        self.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+        crate::simd::sum_sq_f64(self.as_slice()).sqrt() as f32
     }
 
     /// True if any element is non-finite (the FP16 overflow detector used by

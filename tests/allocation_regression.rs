@@ -42,8 +42,7 @@ fn pool_absorbs_steady_state_training_allocations() {
     let off = pool::stats().since(&before_off);
     assert_eq!(off.pool_served, 0, "disabled pool must never serve");
     assert!(off.fresh_allocs > 0, "a train step allocates");
-    train_step(&mut net_off, &mut opt_off, &x, &mut ctx_off);
-    let hash_off = net_off.params().state_hash(); // after 3 steps
+    train_step(&mut net_off, &mut opt_off, &x, &mut ctx_off); // 3rd step
 
     // --- Pooled run: warm one step, then pin the steady state.
     pool::set_enabled(true);
@@ -80,8 +79,26 @@ fn pool_absorbs_steady_state_training_allocations() {
         "high water must not creep: {hw_after_2} -> {hw_after_3}"
     );
 
-    // --- Bit-identity: three steps pooled == three steps unpooled.
-    let hash_on = net_on.params().state_hash(); // after 3 steps
+    // --- The optimizer step alone must be allocation-FREE in steady
+    // state — index-addressed pool-backed momentum, in-place fused
+    // updates, in-place grad zeroing. Not merely pool-dominated: zero.
+    let y = net_on.forward(&x, &mut ctx_on);
+    let scale = 1.0 / y.numel() as f32;
+    let g = Tensor::full(y.shape().clone(), DType::F32, scale);
+    net_on.backward(&g);
+    let params = net_on.params();
+    let before_step = pool::stats();
+    opt_on.step(&params);
+    let step_delta = pool::stats().since(&before_step);
+    assert_eq!(
+        step_delta.fresh_allocs, 0,
+        "steady-state optimizer.step must not touch the allocator"
+    );
+
+    // --- Bit-identity: four steps pooled == four steps unpooled.
+    train_step(&mut net_off, &mut opt_off, &x, &mut ctx_off); // 4th unpooled step
+    let hash_off = net_off.params().state_hash();
+    let hash_on = net_on.params().state_hash();
     assert_eq!(hash_on, hash_off, "pooling must not change parameter bits");
 
     // Restore the environment default for any later process reuse.

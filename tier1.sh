@@ -59,3 +59,17 @@ cargo run --release -q -p exaclim-bench --bin serve_microbench -- --smoke
 # >= 2x the seed pull model's samples/sec at 4 workers.
 # Writes BENCH_ingest.json.
 cargo run --release -q -p exaclim-bench --bin ingest_microbench -- --smoke
+
+# The fused-optimizer microbenchmark's smoke mode asserts the fused
+# plane's contract: {Sgd, Adam, LarcSgd, Lagged} x overlap x fused all
+# produce bit-identical parameters, and the exposed post-backward tail
+# (comm join + optimizer) with worker-side bucket applies is no slower
+# than the legacy serial step at 1 and 4 ranks (best-of-steps, with
+# retries so scheduler noise on oversubscribed hosts cannot fail a
+# structurally sound build). Writes BENCH_optim.json.
+cargo run --release -q -p exaclim-bench --bin optim_microbench -- --smoke
+
+# The fused-optimizer determinism matrix adds the SIMD and kernel-pool
+# axes on top, plus the EXCK v2 optimizer-trailer crossing between the
+# fused and legacy planes.
+cargo test -q -p exaclim-core --test fused_optim_determinism
